@@ -1,0 +1,66 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* **Theorem 4 pruning** (Algorithm 5): selective mining with and without the
+  logical right-hand-side pruning.
+* **Inference refinement** (Algorithm 4): with and without the data-driven
+  ``refine`` subroutine.
+* **Projection pruning** (Section IV-A): mining base-table FDs restricted to
+  the view's projected attributes versus mining all attributes.
+"""
+
+import pytest
+
+from repro.datasets import view_by_key
+from repro.discovery import TANE
+from repro.infine import InFine
+
+ABLATION_VIEWS = ("mimic3/patients_admissions", "tpch/q9")
+
+
+@pytest.mark.parametrize("use_theorem4", [True, False], ids=["theorem4-on", "theorem4-off"])
+@pytest.mark.parametrize("view_key", ABLATION_VIEWS)
+def test_ablation_theorem4_pruning(benchmark, catalogs, view_key, use_theorem4):
+    case = view_by_key(view_key)
+    catalog = catalogs[case.database]
+    engine = InFine(use_theorem4=use_theorem4)
+
+    result = benchmark.pedantic(engine.run, args=(case.spec, catalog), rounds=1, iterations=1)
+    benchmark.group = f"ablation-theorem4:{view_key}"
+    benchmark.extra_info["validations"] = result.stats.mine_candidates_validated
+    benchmark.extra_info["logical_prunes"] = result.stats.mine_candidates_pruned_logically
+
+
+@pytest.mark.parametrize("refine", [True, False], ids=["refine-on", "refine-off"])
+@pytest.mark.parametrize("view_key", ABLATION_VIEWS)
+def test_ablation_inference_refinement(benchmark, catalogs, view_key, refine):
+    case = view_by_key(view_key)
+    catalog = catalogs[case.database]
+    engine = InFine(refine_inferred=refine)
+
+    result = benchmark.pedantic(engine.run, args=(case.spec, catalog), rounds=1, iterations=1)
+    benchmark.group = f"ablation-refine:{view_key}"
+    benchmark.extra_info["inferred_fds"] = result.count_by_step()["inferFDs"]
+    benchmark.extra_info["mined_fds"] = result.count_by_step()["mineFDs"]
+
+
+@pytest.mark.parametrize("restricted", [True, False], ids=["projected-attrs", "all-attrs"])
+def test_ablation_projection_pruning(benchmark, catalogs, restricted):
+    """Base-table mining cost with and without the projected-attribute restriction (TPC-H Q3*)."""
+    case = view_by_key("tpch/q3")
+    catalog = catalogs[case.database]
+    projected = set(case.spec.projected_attributes(catalog))
+    tables = {name: catalog[name] for name in set(case.spec.base_relation_names())}
+
+    def mine_bases():
+        results = {}
+        for name, relation in tables.items():
+            if restricted:
+                keep = [a for a in relation.attribute_names if a in projected or "key" in a]
+            else:
+                keep = list(relation.attribute_names)
+            results[name] = TANE().discover(relation, keep)
+        return results
+
+    results = benchmark.pedantic(mine_bases, rounds=2, iterations=1)
+    benchmark.group = "ablation-projection:tpch/q3"
+    benchmark.extra_info["fd_counts"] = {name: len(res.fds) for name, res in results.items()}

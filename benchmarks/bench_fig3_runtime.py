@@ -1,0 +1,45 @@
+"""Fig. 3 — runtime of InFine vs. the baselines with full SPJ computation.
+
+One benchmark per (view, method) pair.  The InFine benchmark measures the
+whole engine run (the reported quantity of the paper is its view pipeline —
+base-table mining is excluded on both sides and is benchmarked separately in
+``bench_table1_base_tables.py``); the baseline benchmarks measure the full
+SPJ computation plus single-table discovery on the view result, exactly as
+the paper's straightforward approach.
+"""
+
+import pytest
+
+from repro.datasets import paper_views
+from repro.infine import InFine, StraightforwardPipeline
+
+BASELINES = ("tane", "fun", "fastfds", "hyfd")
+
+
+@pytest.mark.parametrize("case", paper_views(), ids=lambda c: c.key)
+def test_fig3_infine(benchmark, catalogs, case):
+    catalog = catalogs[case.database]
+    engine = InFine()
+
+    result = benchmark.pedantic(engine.run, args=(case.spec, catalog), rounds=1, iterations=1)
+    benchmark.group = f"fig3:{case.key}"
+    benchmark.extra_info["view"] = case.paper_label
+    benchmark.extra_info["fd_count"] = len(result)
+    benchmark.extra_info["pipeline_seconds"] = result.timings.view_pipeline
+    benchmark.extra_info["breakdown"] = result.timings.as_dict()
+
+
+@pytest.mark.parametrize("algorithm", BASELINES)
+@pytest.mark.parametrize("case", paper_views(), ids=lambda c: c.key)
+def test_fig3_baseline_full_spj(benchmark, catalogs, case, algorithm):
+    catalog = catalogs[case.database]
+    pipeline = StraightforwardPipeline(algorithm)
+
+    result = benchmark.pedantic(
+        pipeline.run, args=(case.spec, catalog), kwargs={"with_provenance": False},
+        rounds=1, iterations=1,
+    )
+    benchmark.group = f"fig3:{case.key}"
+    benchmark.extra_info["view"] = case.paper_label
+    benchmark.extra_info["fd_count"] = len(result.fds)
+    benchmark.extra_info["spj_seconds"] = result.spj_seconds

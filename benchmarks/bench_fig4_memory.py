@@ -1,0 +1,43 @@
+"""Fig. 4 — peak memory consumption of InFine vs. the baselines.
+
+Peak memory is measured with ``tracemalloc`` and reported in ``extra_info``
+(the benchmark timing itself is secondary here).  One representative view per
+database keeps the suite affordable; run ``python -m repro fig4`` for the
+full 16-view memory table.
+"""
+
+import pytest
+
+from repro.datasets import view_by_key
+from repro.infine import InFine, StraightforwardPipeline
+from repro.metrics import profile_call
+
+REPRESENTATIVE_VIEWS = (
+    "pte/atm_drug",
+    "ptc/connected_bond",
+    "mimic3/patients_admissions",
+    "tpch/q3",
+)
+METHODS = ("infine", "tane", "fun", "fastfds", "hyfd")
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("view_key", REPRESENTATIVE_VIEWS)
+def test_fig4_peak_memory(benchmark, catalogs, view_key, method):
+    case = view_by_key(view_key)
+    catalog = catalogs[case.database]
+
+    if method == "infine":
+        runner = lambda: InFine().run(case.spec, catalog)  # noqa: E731
+    else:
+        runner = lambda: StraightforwardPipeline(method).run(  # noqa: E731
+            case.spec, catalog, with_provenance=False
+        )
+
+    def profiled():
+        return profile_call(runner)
+
+    profile = benchmark.pedantic(profiled, rounds=1, iterations=1)
+    benchmark.group = f"fig4:{view_key}"
+    benchmark.extra_info["peak_memory_mb"] = round(profile.peak_memory_mb, 3)
+    benchmark.extra_info["view"] = case.paper_label

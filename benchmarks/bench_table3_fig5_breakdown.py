@@ -1,0 +1,35 @@
+"""Table III / Fig. 5 — InFine per-step time and FD-fraction breakdown.
+
+Each benchmark runs InFine on one view and reports, in ``extra_info``, the
+per-step wall-clock breakdown (I/O, upstageFDs, inferFDs, mineFDs), the
+per-step fraction of discovered FDs (the pie charts of Fig. 5), the coverage
+of the view and the accuracy against the full-view reference.
+"""
+
+import pytest
+
+from repro.datasets import paper_views
+from repro.discovery import TANE
+from repro.infine import InFine
+from repro.metrics import accuracy_breakdown, self_breakdown, view_coverage
+
+
+@pytest.mark.parametrize("case", paper_views(), ids=lambda c: c.key)
+def test_table3_fig5_breakdown(benchmark, catalogs, case):
+    catalog = catalogs[case.database]
+    engine = InFine()
+
+    result = benchmark.pedantic(engine.run, args=(case.spec, catalog), rounds=1, iterations=1)
+
+    instance = case.spec.evaluate(catalog)
+    reference = TANE().discover(instance, case.spec.projected_attributes(catalog)).fds
+    accuracy = accuracy_breakdown(result, reference)
+
+    benchmark.extra_info["view"] = case.paper_label
+    benchmark.extra_info["coverage"] = round(view_coverage(case.spec, catalog), 2)
+    benchmark.extra_info["time_breakdown"] = result.timings.as_dict()
+    benchmark.extra_info["fd_fractions"] = {
+        step: round(fraction, 3) for step, fraction in self_breakdown(result).items()
+    }
+    benchmark.extra_info["total_accuracy"] = round(accuracy.total_accuracy, 3)
+    assert accuracy.total_accuracy == pytest.approx(1.0)

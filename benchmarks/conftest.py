@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark suite.
+
+The benchmark scale can be overridden through the ``REPRO_BENCH_SCALE``
+environment variable (``tiny``/``small``/``medium``/``large`` or a float);
+the default ``small`` keeps the full suite affordable on a laptop while
+preserving the relative behaviour of the methods.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.datasets import load_all, paper_views  # noqa: E402
+
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def _numeric(scale: str):
+    try:
+        return float(scale)
+    except ValueError:
+        return scale
+
+
+@pytest.fixture(scope="session")
+def catalogs():
+    """The four benchmark databases at the configured scale."""
+    return load_all(_numeric(BENCH_SCALE))
+
+
+@pytest.fixture(scope="session")
+def workload():
+    """The 16 SPJ views of Table II."""
+    return paper_views()
+
+
+def view_ids():
+    """Stable benchmark identifiers for the 16 views."""
+    return [case.key for case in paper_views()]

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""The paper's motivating scenario on the synthetic MIMIC-III-like database.
+
+Reproduces Section II of the paper: join ``patients`` with ``admissions``,
+and explain where every FD of the integrated view comes from — which FDs are
+carried over from the base tables, which approximate FDs become exact because
+the join drops dangling patients, which FDs follow by logical inference
+through ``subject_id``, and which genuinely new join FDs had to be mined.
+"""
+
+from repro import InFine, StraightforwardPipeline, base, join
+from repro.datasets import load_database
+from repro.infine import FDType
+from repro.metrics import view_coverage
+
+
+def main() -> None:
+    catalog = load_database("mimic3", scale="small")
+    view = join(base("patients"), base("admissions"), on="subject_id")
+
+    print("Base tables:")
+    for name in ("patients", "admissions"):
+        relation = catalog[name]
+        print(f"  {name:12s} {len(relation):6d} rows, {relation.arity} attributes")
+    print(f"View coverage (paper's measure): {view_coverage(view, catalog):.2f}\n")
+
+    result = InFine().run(view, catalog)
+    by_type = result.count_by_type()
+    print(f"InFine discovered {len(result)} minimal FDs on patients ⋈ admissions:")
+    for fd_type in FDType:
+        if by_type[fd_type]:
+            print(f"  {fd_type.value:20s} {by_type[fd_type]:3d} FDs")
+
+    print("\nUpstaged FDs (approximate on the base table, exact on the view):")
+    for triple in result.provenance.by_type(FDType.UPSTAGED_LEFT):
+        print(f"  {triple.dependency}   first holds in {triple.subquery[:60]}...")
+
+    print("\nA few inferred FDs (pure logical reasoning, no data access):")
+    for triple in result.provenance.by_type(FDType.INFERRED)[:5]:
+        print(f"  {triple.dependency}")
+
+    print("\nJoin FDs (validated on partial join data):")
+    for triple in result.provenance.by_type(FDType.JOIN)[:5]:
+        print(f"  {triple.dependency}")
+
+    reference = StraightforwardPipeline("hyfd").run(view, catalog)
+    print("\nComparison with the straightforward approach (full view + HyFD):")
+    print(f"  InFine pipeline time : {result.timings.view_pipeline:8.3f} s "
+          f"(upstage {result.timings.upstage:.3f}, infer {result.timings.infer:.3f}, "
+          f"mine {result.timings.mine:.3f})")
+    print(f"  full SPJ + HyFD      : {reference.total_seconds:8.3f} s "
+          f"(SPJ {reference.spj_seconds:.3f} + discovery {reference.discovery_seconds:.3f})")
+    assert set(result.fds.as_set()) == set(reference.fds.as_set())
+    print("  both approaches agree on the FD set — but only InFine knows each FD's lineage.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Use InFine on your own CSV files.
+
+The script exports a small synthetic database to CSV (standing in for the
+user's own exported tables), loads it back as a catalogue, declares an SPJ
+view with a selection, and prints the provenance-annotated FDs of the view.
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import InFine, base, join, sel
+from repro.datasets import load_database
+from repro.relational import gt, load_catalog, save_catalog
+
+
+def main() -> None:
+    # Stand-in for "your own data": export the synthetic PTC database as CSV.
+    source = load_database("ptc", scale="tiny")
+    workdir = Path(tempfile.mkdtemp(prefix="infine_csv_"))
+    save_catalog(source, workdir)
+    print(f"wrote {len(source)} CSV files to {workdir}")
+
+    # Load the CSV files back into a catalogue (types are inferred).
+    catalog = load_catalog(workdir)
+
+    # An SPJ view: heavy atoms joined with their molecule's label.
+    view = join(
+        sel(base("atom"), gt("atomic_weight", 12)),
+        base("molecule"),
+        on="molecule_id",
+    )
+
+    result = InFine().run(view, catalog)
+    print(f"\n{len(result)} provenance-annotated FDs on the view:\n")
+    for record in result.provenance.to_records():
+        print(f"  [{record['type']:18s}] {record['fd']}")
+    print(f"\ntiming breakdown: { {k: round(v, 4) for k, v in result.timings.as_dict().items()} }")
+
+
+if __name__ == "__main__":
+    main()

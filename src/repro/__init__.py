@@ -1,0 +1,75 @@
+"""InFine reproduction: provenance-aware FD discovery on integrated views.
+
+This package reproduces the system described in *"Provenance-aware Discovery
+of Functional Dependencies on Integrated Views"* (ICDE 2022).  The public API
+is re-exported here so that a typical session only needs::
+
+    from repro import Relation, base, join, InFine
+
+    catalog = {...}
+    view = join(base("patient"), base("admission"), on="subject_id")
+    result = InFine().run(view, catalog)
+    for triple in result.triples:
+        print(triple)
+"""
+
+from .discovery import (
+    FUN,
+    TANE,
+    FastFDs,
+    HyFD,
+    NaiveFDDiscovery,
+    make_algorithm,
+    make_algorithms,
+)
+from .fd import FD, FDSet, fd
+from .infine import FDType, InFine, InFineResult, ProvenanceTriple, StraightforwardPipeline
+from .relational import (
+    NULL,
+    JoinKind,
+    Relation,
+    RelationSchema,
+    base,
+    equi_join,
+    join,
+    load_csv,
+    proj,
+    project,
+    save_csv,
+    sel,
+    select,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Relation",
+    "RelationSchema",
+    "NULL",
+    "JoinKind",
+    "project",
+    "select",
+    "equi_join",
+    "base",
+    "proj",
+    "sel",
+    "join",
+    "load_csv",
+    "save_csv",
+    "FD",
+    "fd",
+    "FDSet",
+    "TANE",
+    "FUN",
+    "FastFDs",
+    "HyFD",
+    "NaiveFDDiscovery",
+    "make_algorithm",
+    "make_algorithms",
+    "InFine",
+    "InFineResult",
+    "FDType",
+    "ProvenanceTriple",
+    "StraightforwardPipeline",
+]

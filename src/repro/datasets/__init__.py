@@ -1,0 +1,38 @@
+"""Synthetic substitutes for the paper's datasets and the 16 SPJ views of Table II."""
+
+from .generator import DatasetProfile, SyntheticTableBuilder, pick_foreign_keys
+from .mimic import generate_mimic
+from .ptc import generate_ptc
+from .pte import generate_pte
+from .registry import (
+    DATABASES,
+    SCALE_PRESETS,
+    Catalog,
+    catalog_for_view,
+    load_all,
+    load_database,
+    resolve_scale,
+)
+from .tpch import generate_tpch
+from .views import ViewCase, paper_views, view_by_key, views_for
+
+__all__ = [
+    "DatasetProfile",
+    "SyntheticTableBuilder",
+    "pick_foreign_keys",
+    "generate_mimic",
+    "generate_pte",
+    "generate_ptc",
+    "generate_tpch",
+    "Catalog",
+    "DATABASES",
+    "SCALE_PRESETS",
+    "load_database",
+    "load_all",
+    "catalog_for_view",
+    "resolve_scale",
+    "ViewCase",
+    "paper_views",
+    "views_for",
+    "view_by_key",
+]

@@ -1,0 +1,163 @@
+"""Common helpers for the synthetic dataset generators.
+
+The paper evaluates InFine on MIMIC-III, PTE, PTC and TPC-H.  None of those
+datasets can be redistributed here (MIMIC-III requires credentialed access,
+PTE/PTC are served by an external relational repository, TPC-H at scale
+factor 1 is far too large for a pure-Python benchmark substrate), so each is
+replaced by a generator that reproduces the *structural* properties the
+algorithms react to:
+
+* primary keys and unique surrogate identifiers,
+* foreign-key columns with configurable partial coverage (dangling tuples on
+  both sides, so joins drop tuples and upstage approximate FDs),
+* functionally dependent attribute groups (planted FDs),
+* approximate FDs whose violating tuples are concentrated in the dangling
+  part of a table (so that they become exact on the join, as in the paper's
+  ``expire_flag ⇁ dod`` example),
+* low-cardinality categorical columns that give rise to incidental join FDs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..relational.relation import NULL, Relation
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Scaling profile of a synthetic database.
+
+    ``scale`` multiplies every base-table row count; the defaults are chosen
+    so that the full benchmark suite (including the slowest baselines) runs
+    on a laptop in minutes while preserving the relative characteristics of
+    Table I of the paper (which tables are large, which joins repeat tuples,
+    which have dangling rows).
+    """
+
+    name: str
+    scale: float = 1.0
+    seed: int = 7
+
+    def rows(self, base: int, minimum: int = 3) -> int:
+        """Scaled row count, never below ``minimum``."""
+        return max(minimum, int(round(base * self.scale)))
+
+
+class SyntheticTableBuilder:
+    """Incremental builder for one synthetic relation.
+
+    Columns are added as callables receiving the row index and the random
+    generator; this keeps the individual dataset generators declarative and
+    compact while allowing planted FDs (a column derived from another) and
+    planted AFDs (a derived column with targeted violations).
+    """
+
+    def __init__(self, name: str, rng: random.Random) -> None:
+        self.name = name
+        self.rng = rng
+        self._columns: list[tuple[str, Callable[[int, random.Random], object]]] = []
+
+    def column(self, name: str, make: Callable[[int, random.Random], object]) -> "SyntheticTableBuilder":
+        """Add a column computed by ``make(row_index, rng)``."""
+        self._columns.append((name, make))
+        return self
+
+    def constant(self, name: str, value: object) -> "SyntheticTableBuilder":
+        """Add a constant column."""
+        return self.column(name, lambda i, rng: value)
+
+    def sequence(self, name: str, prefix: str = "", start: int = 1) -> "SyntheticTableBuilder":
+        """Add a unique surrogate-key column (``prefix`` + running integer)."""
+        if prefix:
+            return self.column(name, lambda i, rng: f"{prefix}{start + i}")
+        return self.column(name, lambda i, rng: start + i)
+
+    def categorical(self, name: str, values: Sequence[object],
+                    weights: Sequence[float] | None = None) -> "SyntheticTableBuilder":
+        """Add a categorical column drawn from ``values``."""
+        values = list(values)
+        weights = list(weights) if weights is not None else None
+        return self.column(name, lambda i, rng: rng.choices(values, weights=weights, k=1)[0])
+
+    def integer(self, name: str, low: int, high: int) -> "SyntheticTableBuilder":
+        """Add a uniform integer column in ``[low, high]``."""
+        return self.column(name, lambda i, rng: rng.randint(low, high))
+
+    def derived(self, name: str, source: str,
+                mapping: Callable[[object], object]) -> "SyntheticTableBuilder":
+        """Add a column functionally determined by a previously added column.
+
+        This plants the exact FD ``source -> name``.
+        """
+        source_index = self._index_of(source)
+
+        def make(i: int, rng: random.Random, _cache: dict = {}) -> object:  # noqa: B006
+            return mapping(self._current_row[source_index])
+
+        return self.column(name, make)
+
+    def _index_of(self, column_name: str) -> int:
+        for index, (name, _maker) in enumerate(self._columns):
+            if name == column_name:
+                return index
+        raise KeyError(f"column {column_name!r} has not been defined yet on table {self.name!r}")
+
+    def build(self, n_rows: int) -> Relation:
+        """Materialise ``n_rows`` rows."""
+        names = [name for name, _maker in self._columns]
+        rows: list[tuple] = []
+        for i in range(n_rows):
+            self._current_row: list[object] = []
+            for _name, maker in self._columns:
+                self._current_row.append(maker(i, self.rng))
+            rows.append(tuple(self._current_row))
+        return Relation(self.name, names, rows)
+
+
+def pick_foreign_keys(
+    rng: random.Random,
+    parent_keys: Sequence[object],
+    n_rows: int,
+    coverage: float = 0.9,
+    dangling_pool: Sequence[object] = (),
+    zipf: float = 1.3,
+) -> list[object]:
+    """Draw ``n_rows`` foreign-key values referencing ``parent_keys``.
+
+    Parameters
+    ----------
+    rng:
+        Random generator.
+    parent_keys:
+        The referenced key values.
+    n_rows:
+        Number of FK values to draw.
+    coverage:
+        Fraction of rows that reference an existing parent; the rest use
+        values from ``dangling_pool`` (dangling tuples that any inner join
+        will drop).
+    dangling_pool:
+        Values guaranteed to be absent from ``parent_keys``.
+    zipf:
+        Skew of the parent-key popularity (``1.0`` = uniform); a skewed
+        distribution makes some parents repeat many times through the join,
+        mirroring the high-coverage views of the paper.
+    """
+    parent_keys = list(parent_keys)
+    weights = [1.0 / (rank ** zipf) for rank in range(1, len(parent_keys) + 1)]
+    values: list[object] = []
+    dangling_pool = list(dangling_pool)
+    for _ in range(n_rows):
+        if dangling_pool and rng.random() > coverage:
+            values.append(rng.choice(dangling_pool))
+        else:
+            values.append(rng.choices(parent_keys, weights=weights, k=1)[0])
+    return values
+
+
+def null_or(value: object, is_null: bool) -> object:
+    """Return ``NULL`` when ``is_null`` else ``value`` (readability helper)."""
+    return NULL if is_null else value

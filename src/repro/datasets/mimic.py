@@ -1,0 +1,182 @@
+"""Synthetic MIMIC-III-like clinical database.
+
+The real MIMIC-III requires credentialed access, so this module generates a
+catalogue with the same four tables used by the paper (``patients``,
+``admissions``, ``diagnoses_icd``, ``d_icd_diagnoses``), the same attribute
+shapes and the structural properties the running example of the paper relies
+on:
+
+* ``subject_id`` and ``dob`` are keys of ``patients``; ``dod`` determines
+  ``expire_flag``;
+* ``expire_flag -> dod`` is an *approximate* FD on ``patients`` whose
+  violations are concentrated in patients that never appear in
+  ``admissions`` — joining the two tables drops them and upstages the FD,
+  exactly as in Fig. 1 of the paper;
+* ``admissions`` has multiple rows per patient (coverage > 1 for the join on
+  ``subject_id``) plus a few rows referencing unknown patients (dangling on
+  the other side);
+* patient-level attributes repeated in ``admissions`` (``insurance``,
+  ``h_expire_flag``) create the cross-table join FDs of the running example.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..relational.relation import NULL, Relation
+from .generator import DatasetProfile, pick_foreign_keys
+
+#: Default (unscaled) row counts; the paper's table sizes divided by ~50 so
+#: that the slowest baselines stay tractable on the pure-Python substrate.
+DEFAULT_ROWS = {
+    "patients": 900,
+    "admissions": 1200,
+    "diagnoses_icd": 2600,
+    "d_icd_diagnoses": 300,
+}
+
+_ADMISSION_LOCATIONS = (
+    "EMERGENCY ROOM ADMIT",
+    "PHYS REFERRAL/NORMAL DELI",
+    "CLINIC REFERRAL/PREMATURE",
+    "TRANSFER FROM HOSP/EXTRAM",
+)
+_INSURANCES = ("Medicare", "Medicaid", "Private", "Self Pay", "Government")
+_DIAGNOSIS_STEMS = (
+    "CHEST PAIN", "PNEUMONIA", "SEPSIS", "GI BLEEDING", "STROKE", "FRACTURE",
+    "UNSTABLE ANGINA", "HEART FAILURE", "RENAL FAILURE", "ASTHMA",
+)
+
+
+def generate_mimic(profile: DatasetProfile | None = None) -> dict[str, Relation]:
+    """Generate the synthetic MIMIC-III-like catalogue."""
+    profile = profile or DatasetProfile("mimic3")
+    rng = random.Random(profile.seed)
+
+    n_patients = profile.rows(DEFAULT_ROWS["patients"])
+    n_admissions = profile.rows(DEFAULT_ROWS["admissions"])
+    n_diagnoses = profile.rows(DEFAULT_ROWS["diagnoses_icd"])
+    n_codes = profile.rows(DEFAULT_ROWS["d_icd_diagnoses"], minimum=10)
+
+    patients, admitted_ids, dangling_ids = _patients(rng, n_patients)
+    admissions = _admissions(rng, admitted_ids, dangling_ids, n_admissions)
+    codes = _icd_codes(rng, n_codes)
+    diagnoses = _diagnoses_icd(rng, admitted_ids, dangling_ids, codes, n_diagnoses)
+
+    return {
+        "patients": patients,
+        "admissions": admissions,
+        "diagnoses_icd": diagnoses,
+        "d_icd_diagnoses": codes,
+    }
+
+
+def _patients(
+    rng: random.Random, n_patients: int
+) -> tuple[Relation, list[int], list[int]]:
+    """``patients(subject_id, gender, dob, dod, expire_flag)``."""
+    rows = []
+    admitted: list[int] = []
+    dangling: list[int] = []
+    # Roughly 6 % of the patients never show up in admissions; their rows
+    # carry the violations of the planted approximate FDs.
+    n_dangling = max(2, n_patients // 16)
+    deceased_dod_for_admitted = "2145-08-12"  # single value -> expire_flag -> dod upstages
+    for i in range(n_patients):
+        subject_id = 10_000 + i
+        gender = rng.choice(("F", "M"))
+        dob = f"{1910 + (i * 7) % 95:04d}-{1 + (i * 3) % 12:02d}-{1 + (i * 11) % 28:02d}"
+        is_dangling = i >= n_patients - n_dangling
+        expire_flag = 1 if rng.random() < 0.22 else 0
+        if expire_flag:
+            if is_dangling:
+                # Distinct death dates: these rows violate expire_flag -> dod.
+                dod = f"{2100 + i % 40:04d}-{1 + i % 12:02d}-{1 + i % 28:02d}"
+            else:
+                dod = deceased_dod_for_admitted
+        else:
+            dod = NULL
+        rows.append((subject_id, gender, dob, dod, expire_flag))
+        (dangling if is_dangling else admitted).append(subject_id)
+    relation = Relation(
+        "patients", ("subject_id", "gender", "dob", "dod", "expire_flag"), rows
+    )
+    return relation, admitted, dangling
+
+
+def _admissions(
+    rng: random.Random,
+    admitted_ids: list[int],
+    dangling_ids: list[int],
+    n_admissions: int,
+) -> Relation:
+    """``admissions(subject_id, admittime, admission_location, insurance, diagnosis, h_expire_flag)``."""
+    # A few admissions reference patients that are not in the patients table
+    # (simulating the partial extract of the paper), so the join also drops
+    # admission rows and can upstage admission-side AFDs.
+    missing_pool = [99_000 + i for i in range(8)]
+    subject_ids = pick_foreign_keys(
+        rng, admitted_ids, n_admissions, coverage=0.97, dangling_pool=missing_pool, zipf=0.9
+    )
+    insurance_of = {sid: rng.choice(_INSURANCES) for sid in set(subject_ids)}
+    h_expire_of = {sid: 1 if rng.random() < 0.15 else 0 for sid in set(subject_ids)}
+    rows = []
+    for i, subject_id in enumerate(subject_ids):
+        admittime = f"{2100 + i % 50:04d}-{1 + i % 12:02d}-{1 + i % 28:02d} {i % 24:02d}:{(i * 7) % 60:02d}"
+        location = rng.choice(_ADMISSION_LOCATIONS)
+        insurance = insurance_of[subject_id]
+        stem = rng.choice(_DIAGNOSIS_STEMS)
+        diagnosis = f"{stem} #{rng.randint(1, 40)}"
+        h_expire_flag = h_expire_of[subject_id]
+        rows.append((subject_id, admittime, location, insurance, diagnosis, h_expire_flag))
+    return Relation(
+        "admissions",
+        ("subject_id", "admittime", "admission_location", "insurance", "diagnosis", "h_expire_flag"),
+        rows,
+    )
+
+
+def _icd_codes(rng: random.Random, n_codes: int) -> Relation:
+    """``d_icd_diagnoses(icd9_code, short_title, long_title)``."""
+    rows = []
+    for i in range(n_codes):
+        code = f"{400 + i}.{i % 10}"
+        stem = _DIAGNOSIS_STEMS[i % len(_DIAGNOSIS_STEMS)]
+        short_title = f"{stem[:12]} {i}"
+        long_title = f"{stem} (detailed description {i})"
+        rows.append((code, short_title, long_title))
+    return Relation("d_icd_diagnoses", ("icd9_code", "short_title", "long_title"), rows)
+
+
+def _diagnoses_icd(
+    rng: random.Random,
+    admitted_ids: list[int],
+    dangling_ids: list[int],
+    codes: Relation,
+    n_diagnoses: int,
+) -> Relation:
+    """``diagnoses_icd(subject_id, seq_num, icd9_code, severity)``."""
+    code_values = codes.column("icd9_code")
+    # Some diagnosis rows reference patients missing from the patients table
+    # and some ICD codes missing from the dictionary (coverage < 1).
+    missing_codes = [f"999.{i}" for i in range(5)]
+    subject_ids = pick_foreign_keys(
+        rng, admitted_ids, n_diagnoses, coverage=0.96,
+        dangling_pool=[99_100 + i for i in range(6)], zipf=0.8,
+    )
+    severity_of_code = {code: rng.choice(("LOW", "MEDIUM", "HIGH")) for code in code_values}
+    for code in missing_codes:
+        severity_of_code[code] = "HIGH"
+    rows = []
+    per_subject_counter: dict[int, int] = {}
+    for subject_id in subject_ids:
+        seq = per_subject_counter.get(subject_id, 0) + 1
+        per_subject_counter[subject_id] = seq
+        if rng.random() < 0.03:
+            code = rng.choice(missing_codes)
+        else:
+            code = rng.choice(code_values)
+        rows.append((subject_id, seq, code, severity_of_code[code]))
+    return Relation(
+        "diagnoses_icd", ("subject_id", "seq_num", "icd9_code", "severity"), rows
+    )

@@ -1,0 +1,99 @@
+"""Synthetic PTC-like (predictive toxicology challenge) database.
+
+The original PTC dataset (molecules labelled by carcinogenicity on rodents)
+is served by an external relational repository; the generator reproduces its
+schema and join graph: ``molecule`` is the hub, ``atom`` references it,
+``bond`` references it, and ``connected`` links atoms to bonds.
+
+Structural properties mirrored from the paper's Table I/II:
+
+* ``molecule`` is small (a few hundred rows) with a label column;
+* ``atom`` and ``connected`` have an order of magnitude more rows
+  (coverage ≫ 1 through the joins);
+* ``connected`` joins ``atom`` on a *differently named* attribute
+  (``atom1_id = atom_id``), exercising the equi-join path of the paper's
+  ``connected ⋈_id1 [atom ⋈ molecule]`` view.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..relational.relation import Relation
+from .generator import DatasetProfile, pick_foreign_keys
+
+#: Default (unscaled) row counts (paper sizes reduced ~10x).
+DEFAULT_ROWS = {
+    "molecule": 340,
+    "atom": 1230,
+    "bond": 1230,
+    "connected": 2470,
+}
+
+_ELEMENTS = ("c", "h", "o", "n", "s", "cl", "p", "na")
+_LABELS = ("P", "N", "CE", "NE")
+
+
+def generate_ptc(profile: DatasetProfile | None = None) -> dict[str, Relation]:
+    """Generate the synthetic PTC-like catalogue."""
+    profile = profile or DatasetProfile("ptc")
+    rng = random.Random(profile.seed + 2)
+
+    n_molecules = profile.rows(DEFAULT_ROWS["molecule"], minimum=20)
+    n_atoms = profile.rows(DEFAULT_ROWS["atom"], minimum=80)
+    n_bonds = profile.rows(DEFAULT_ROWS["bond"], minimum=80)
+    n_connected = profile.rows(DEFAULT_ROWS["connected"], minimum=120)
+
+    molecule_ids = [f"TR{i + 1:03d}" for i in range(n_molecules)]
+    molecule = Relation(
+        "molecule",
+        ("molecule_id", "label"),
+        [(m, rng.choice(_LABELS)) for m in molecule_ids],
+    )
+
+    # Atoms: some reference molecules missing from the molecule table, so
+    # atom ⋈ molecule drops rows (coverage slightly below full on that side).
+    atom_molecules = pick_foreign_keys(
+        rng, molecule_ids, n_atoms, coverage=0.97,
+        dangling_pool=[f"TRX{i}" for i in range(5)], zipf=0.5,
+    )
+    element_weight = {e: 10 + 3 * i for i, e in enumerate(_ELEMENTS)}
+    atom_rows = []
+    for i, molecule_id in enumerate(atom_molecules):
+        atom_id = f"{molecule_id}_{i}"
+        element = rng.choice(_ELEMENTS)
+        atom_rows.append((atom_id, molecule_id, element, element_weight[element]))
+    atom = Relation("atom", ("atom_id", "molecule_id", "element", "atomic_weight"), atom_rows)
+
+    # Bonds belong to molecules; bond_kind determines bond_order (planted FD).
+    bond_molecules = pick_foreign_keys(
+        rng, molecule_ids, n_bonds, coverage=0.99,
+        dangling_pool=[f"TRY{i}" for i in range(3)], zipf=0.5,
+    )
+    kind_order = {"single": 1, "double": 2, "triple": 3, "aromatic": 4}
+    bond_rows = []
+    for i, molecule_id in enumerate(bond_molecules):
+        bond_id = f"b{i + 1}"
+        kind = rng.choice(list(kind_order))
+        bond_rows.append((bond_id, molecule_id, kind, kind_order[kind]))
+    bond = Relation("bond", ("bond_id", "bond_molecule_id", "bond_kind", "bond_order"), bond_rows)
+
+    # `connected` links an atom to a bond; a small fraction of its rows
+    # reference atoms or bonds that do not exist (dangling on both joins).
+    atom_ids = [row[0] for row in atom_rows]
+    bond_ids = [row[0] for row in bond_rows]
+    connected_atoms = pick_foreign_keys(
+        rng, atom_ids, n_connected, coverage=0.98,
+        dangling_pool=[f"ghost_a{i}" for i in range(6)], zipf=0.4,
+    )
+    connected_bonds = pick_foreign_keys(
+        rng, bond_ids, n_connected, coverage=0.98,
+        dangling_pool=[f"ghost_b{i}" for i in range(6)], zipf=0.4,
+    )
+    connected_rows = []
+    for i in range(n_connected):
+        position = 1 + i % 2
+        connected_rows.append((connected_atoms[i], connected_bonds[i], position))
+    connected = Relation("connected", ("atom1_id", "connected_bond_id", "position"), connected_rows)
+
+    return {"molecule": molecule, "atom": atom, "bond": bond, "connected": connected}

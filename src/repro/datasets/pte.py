@@ -1,0 +1,121 @@
+"""Synthetic PTE-like (predictive toxicology evaluation) database.
+
+The original PTE dataset is served by the ``relational.fit.cvut.cz``
+repository which is not reachable offline; the generator reproduces its
+schema and join graph: ``drug`` is the hub table, ``atm`` (atoms), ``bond``
+(bonds) and ``active`` (carcinogenicity labels) all reference it through
+``drug_id``.
+
+Structural properties mirrored from the paper's Table I/II:
+
+* ``drug`` is a single-column key table (340 rows, 0 FDs);
+* ``active`` covers only a subset of the drugs (so ``active ⋈ drug`` has
+  coverage < 1 and drops tuples);
+* ``atm`` and ``bond`` have thousands of rows with several atoms/bonds per
+  drug (coverage ≫ 1);
+* element/charge/bond-type attributes are functionally related so the joins
+  exhibit base, upstaged and inferred FDs.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..relational.algebra import rename
+from ..relational.relation import Relation
+from .generator import DatasetProfile, pick_foreign_keys
+
+#: Default (unscaled) row counts (paper sizes reduced ~8x).
+DEFAULT_ROWS = {
+    "drug": 340,
+    "active": 290,
+    "atm": 1150,
+    "bond": 1160,
+}
+
+_ELEMENTS = ("c", "h", "o", "n", "s", "cl", "br", "f", "p")
+_BOND_TYPES = (1, 2, 3, 7)
+
+
+def generate_pte(profile: DatasetProfile | None = None) -> dict[str, Relation]:
+    """Generate the synthetic PTE-like catalogue."""
+    profile = profile or DatasetProfile("pte")
+    rng = random.Random(profile.seed + 1)
+
+    n_drugs = profile.rows(DEFAULT_ROWS["drug"], minimum=20)
+    n_active = min(profile.rows(DEFAULT_ROWS["active"], minimum=15), n_drugs)
+    n_atoms = profile.rows(DEFAULT_ROWS["atm"], minimum=60)
+    n_bonds = profile.rows(DEFAULT_ROWS["bond"], minimum=60)
+
+    drug_ids = [f"d{i + 1}" for i in range(n_drugs)]
+    drug = Relation("drug", ("drug_id",), [(d,) for d in drug_ids])
+
+    # `active` labels a strict subset of the drugs; the join with `drug`
+    # therefore keeps coverage below 1 on the drug side.
+    labelled = rng.sample(drug_ids, n_active)
+    active = Relation(
+        "active",
+        ("drug_id", "activity"),
+        [(d, rng.choice(("active", "inactive"))) for d in labelled],
+    )
+
+    # Atoms: element determines charge band and atom_type (planted FDs);
+    # a handful of atoms reference unknown drugs (dangling).
+    atom_rows = []
+    element_charge = {e: round(-0.4 + 0.1 * i, 1) for i, e in enumerate(_ELEMENTS)}
+    element_type = {e: 20 + i for i, e in enumerate(_ELEMENTS)}
+    atom_drug = pick_foreign_keys(
+        rng, drug_ids, n_atoms, coverage=0.985,
+        dangling_pool=[f"dx{i}" for i in range(4)], zipf=0.6,
+    )
+    for i, drug_id in enumerate(atom_drug):
+        atom_id = f"{drug_id}_a{i}"
+        element = rng.choice(_ELEMENTS)
+        atom_rows.append(
+            (atom_id, drug_id, element, element_charge[element], element_type[element])
+        )
+    atm = Relation("atm", ("atom_id", "drug_id", "element", "charge", "atom_type"), atom_rows)
+
+    # Bonds connect two atoms of the same drug; bond_type determines a
+    # derived bond_energy attribute (planted FD), and a few bonds reference
+    # drugs without atoms or outside the drug table.
+    atoms_by_drug: dict[str, list[str]] = {}
+    for atom_id, drug_id, *_rest in atom_rows:
+        atoms_by_drug.setdefault(drug_id, []).append(atom_id)
+    eligible = [d for d, atoms in atoms_by_drug.items() if len(atoms) >= 2]
+    bond_rows = []
+    bond_energy = {bond_type: 90 + 25 * bond_type for bond_type in _BOND_TYPES}
+    bond_drug = pick_foreign_keys(
+        rng, eligible, n_bonds, coverage=0.99,
+        dangling_pool=[f"dy{i}" for i in range(3)], zipf=0.6,
+    )
+    for i, drug_id in enumerate(bond_drug):
+        atoms = atoms_by_drug.get(drug_id)
+        if atoms and len(atoms) >= 2:
+            atom1_id, atom2_id = rng.sample(atoms, 2)
+        else:
+            atom1_id, atom2_id = f"{drug_id}_a0", f"{drug_id}_a1"
+        bond_type = rng.choice(_BOND_TYPES)
+        bond_rows.append((drug_id, atom1_id, atom2_id, bond_type, bond_energy[bond_type]))
+    # The bond table carries its own foreign-key name (bond_drug_id) so that
+    # views joining both atm and bond do not collide on a non-join attribute.
+    bond = Relation(
+        "bond", ("bond_drug_id", "atom1_id", "atom2_id", "bond_type", "bond_energy"), bond_rows
+    )
+
+    # A renamed copy of `atm` used by the self-join view
+    # [atm ⋈ bond ⋈ atm] ⋈ drug of Table II (the second occurrence of `atm`
+    # must carry distinct attribute names to stay within SPJ algebra).
+    atm2 = rename(
+        atm,
+        {
+            "atom_id": "atom2_ref",
+            "element": "element2",
+            "charge": "charge2",
+            "atom_type": "atom_type2",
+            "drug_id": "drug_id2",
+        },
+        name="atm2",
+    )
+
+    return {"drug": drug, "active": active, "atm": atm, "bond": bond, "atm2": atm2}

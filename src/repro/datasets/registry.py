@@ -1,0 +1,90 @@
+"""Dataset registry: build the synthetic catalogues used by the evaluation.
+
+A single entry point (:func:`load_database`) maps a database name and a
+scaling profile to its catalogue of base relations; :func:`load_all` builds
+the full workload of the paper.  Catalogues are deterministic for a given
+``(scale, seed)`` pair, so experiments and tests are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ..relational.relation import Relation
+from .generator import DatasetProfile
+from .mimic import generate_mimic
+from .ptc import generate_ptc
+from .pte import generate_pte
+from .tpch import generate_tpch
+from .views import DATABASES, ViewCase, paper_views, views_for
+
+Catalog = dict[str, Relation]
+
+_GENERATORS: dict[str, Callable[[DatasetProfile], Catalog]] = {
+    "mimic3": generate_mimic,
+    "pte": generate_pte,
+    "ptc": generate_ptc,
+    "tpch": generate_tpch,
+}
+
+#: Named scaling presets.  ``tiny`` is meant for unit tests, ``small`` for the
+#: default benchmark runs, ``medium`` for longer experiment campaigns.
+SCALE_PRESETS: dict[str, float] = {
+    "tiny": 0.08,
+    "small": 0.35,
+    "medium": 1.0,
+    "large": 3.0,
+}
+
+
+def resolve_scale(scale: float | str) -> float:
+    """Resolve a numeric scale or the name of a preset."""
+    if isinstance(scale, str):
+        try:
+            return SCALE_PRESETS[scale]
+        except KeyError:
+            raise KeyError(
+                f"unknown scale preset {scale!r}; available: {sorted(SCALE_PRESETS)}"
+            ) from None
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return float(scale)
+
+
+def load_database(
+    database: str, scale: float | str = "small", seed: int = 7
+) -> Catalog:
+    """Build the catalogue of one database at the requested scale."""
+    if database not in _GENERATORS:
+        raise KeyError(f"unknown database {database!r}; expected one of {sorted(_GENERATORS)}")
+    profile = DatasetProfile(database, scale=resolve_scale(scale), seed=seed)
+    return _GENERATORS[database](profile)
+
+
+def load_all(scale: float | str = "small", seed: int = 7) -> dict[str, Catalog]:
+    """Build every database of the evaluation workload."""
+    return {database: load_database(database, scale, seed) for database in DATABASES}
+
+
+def catalog_for_view(
+    case: ViewCase, catalogs: Mapping[str, Catalog] | None = None,
+    scale: float | str = "small", seed: int = 7,
+) -> Catalog:
+    """The catalogue a view case runs against (reusing ``catalogs`` when given)."""
+    if catalogs is not None and case.database in catalogs:
+        return dict(catalogs[case.database])
+    return load_database(case.database, scale, seed)
+
+
+__all__ = [
+    "Catalog",
+    "DATABASES",
+    "SCALE_PRESETS",
+    "ViewCase",
+    "catalog_for_view",
+    "load_all",
+    "load_database",
+    "paper_views",
+    "resolve_scale",
+    "views_for",
+]

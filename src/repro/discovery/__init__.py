@@ -1,0 +1,32 @@
+"""Single-table FD discovery algorithms (the paper's baselines plus a naive oracle)."""
+
+from .base import DiscoveryResult, DiscoveryStats, FDDiscoveryAlgorithm
+from .fastfds import FastFDs
+from .fun import FUN
+from .hyfd import HyFD
+from .naive import NaiveFDDiscovery
+from .registry import (
+    PAPER_BASELINES,
+    available_algorithms,
+    make_algorithm,
+    make_algorithms,
+    register_algorithm,
+)
+from .tane import TANE, ApproximateTANE
+
+__all__ = [
+    "FDDiscoveryAlgorithm",
+    "DiscoveryResult",
+    "DiscoveryStats",
+    "TANE",
+    "ApproximateTANE",
+    "FUN",
+    "FastFDs",
+    "HyFD",
+    "NaiveFDDiscovery",
+    "PAPER_BASELINES",
+    "available_algorithms",
+    "make_algorithm",
+    "make_algorithms",
+    "register_algorithm",
+]

@@ -1,0 +1,59 @@
+"""Registry of the available FD discovery algorithms.
+
+The experiment harness and the command-line interface look algorithms up by
+name, so registering a new algorithm automatically makes it available to
+every benchmark and comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from .base import FDDiscoveryAlgorithm
+from .fastfds import FastFDs
+from .fun import FUN
+from .hyfd import HyFD
+from .naive import NaiveFDDiscovery
+from .tane import TANE, ApproximateTANE
+
+AlgorithmFactory = Callable[[], FDDiscoveryAlgorithm]
+
+_REGISTRY: dict[str, AlgorithmFactory] = {
+    TANE.name: TANE,
+    FUN.name: FUN,
+    FastFDs.name: FastFDs,
+    HyFD.name: HyFD,
+    NaiveFDDiscovery.name: NaiveFDDiscovery,
+    ApproximateTANE.name: ApproximateTANE,
+}
+
+#: The four state-of-the-art baselines the paper compares InFine against.
+PAPER_BASELINES: tuple[str, ...] = ("tane", "fun", "fastfds", "hyfd")
+
+
+def register_algorithm(name: str, factory: AlgorithmFactory) -> None:
+    """Register a custom algorithm factory under ``name``."""
+    if not name:
+        raise ValueError("algorithm name must be non-empty")
+    _REGISTRY[name] = factory
+
+
+def available_algorithms() -> tuple[str, ...]:
+    """Names of all registered algorithms."""
+    return tuple(sorted(_REGISTRY))
+
+
+def make_algorithm(name: str, **kwargs) -> FDDiscoveryAlgorithm:
+    """Instantiate the algorithm registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown FD discovery algorithm {name!r}; available: {available_algorithms()}"
+        ) from None
+    return factory(**kwargs) if kwargs else factory()
+
+
+def make_algorithms(names: Iterable[str] | None = None) -> list[FDDiscoveryAlgorithm]:
+    """Instantiate several algorithms (defaults to the paper's four baselines)."""
+    return [make_algorithm(name) for name in (names or PAPER_BASELINES)]

@@ -1,0 +1,37 @@
+"""Experiment harness regenerating every table and figure of the paper's evaluation."""
+
+from .figures import fig3_rows, fig4_rows, fig5_rows
+from .harness import (
+    MethodMeasurement,
+    ViewExperiment,
+    run_full_evaluation,
+    run_view_experiment,
+)
+from .report import render_csv, render_table, summarise
+from .tables import (
+    TABLE1_COLUMNS,
+    TABLE2_COLUMNS,
+    TABLE3_COLUMNS,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+)
+
+__all__ = [
+    "ViewExperiment",
+    "MethodMeasurement",
+    "run_view_experiment",
+    "run_full_evaluation",
+    "render_table",
+    "render_csv",
+    "summarise",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+    "TABLE1_COLUMNS",
+    "TABLE2_COLUMNS",
+    "TABLE3_COLUMNS",
+    "fig3_rows",
+    "fig4_rows",
+    "fig5_rows",
+]

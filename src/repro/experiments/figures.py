@@ -1,0 +1,82 @@
+"""Regeneration of Fig. 3, Fig. 4 and Fig. 5 of the paper (as data series).
+
+The paper presents these results graphically; this module produces the
+underlying series as row dictionaries so they can be printed, saved as CSV,
+or plotted by the user with any tool.  The *shape* to look for:
+
+* **Fig. 3 (runtime)** — InFine's pipeline (which never computes the full
+  view unless selective mining needs it) versus each baseline's
+  full-SPJ-plus-discovery time, per view.
+* **Fig. 4 (memory)** — peak memory per method per view; InFine is expected
+  to have the smallest footprint because it only materialises reduced and
+  partial instances.
+* **Fig. 5 (breakdown)** — per-view runtime of the InFine steps together with
+  the fraction of FDs each step retrieved.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..metrics.accuracy import BREAKDOWN_STEPS
+from .harness import ViewExperiment
+
+FIG3_BASE_COLUMNS = ("database", "view", "view_rows", "infine_s")
+FIG4_BASE_COLUMNS = ("database", "view", "infine_mb")
+FIG5_COLUMNS = (
+    "database", "view",
+    "upstageFDs_s", "inferFDs_s", "mineFDs_s", "io_s",
+    "upstageFDs_pct", "inferFDs_pct", "mineFDs_pct", "fd_count",
+)
+
+
+def fig3_rows(experiments: Sequence[ViewExperiment]) -> list[dict]:
+    """Fig. 3: average runtime of InFine vs. each baseline with full SPJ computation."""
+    rows: list[dict] = []
+    for experiment in experiments:
+        row = {
+            "database": experiment.case.database,
+            "view": experiment.case.paper_label,
+            "view_rows": experiment.view_rows,
+            "infine_s": round(experiment.infine_seconds, 4),
+        }
+        for name, measurement in sorted(experiment.baselines.items()):
+            row[f"{name}_full_spj_s"] = round(measurement.total_seconds, 4)
+            row[f"speedup_vs_{name}"] = round(experiment.speedup_over(name), 2)
+        rows.append(row)
+    return rows
+
+
+def fig4_rows(experiments: Sequence[ViewExperiment]) -> list[dict]:
+    """Fig. 4: maximal memory consumption (MB) of InFine vs. the baselines."""
+    rows: list[dict] = []
+    for experiment in experiments:
+        row = {
+            "database": experiment.case.database,
+            "view": experiment.case.paper_label,
+            "infine_mb": round(experiment.infine_peak_memory_mb, 3),
+        }
+        for name, measurement in sorted(experiment.baselines.items()):
+            row[f"{name}_mb"] = round(measurement.peak_memory_mb, 3)
+        rows.append(row)
+    return rows
+
+
+def fig5_rows(experiments: Sequence[ViewExperiment]) -> list[dict]:
+    """Fig. 5: per-step runtime of InFine and the fraction of FDs found by each step."""
+    rows: list[dict] = []
+    for experiment in experiments:
+        timings = experiment.infine.timings
+        row = {
+            "database": experiment.case.database,
+            "view": experiment.case.paper_label,
+            "upstageFDs_s": round(timings.upstage, 4),
+            "inferFDs_s": round(timings.infer, 4),
+            "mineFDs_s": round(timings.mine, 4),
+            "io_s": round(timings.io, 4),
+        }
+        for step in BREAKDOWN_STEPS:
+            row[f"{step}_pct"] = round(100.0 * experiment.accuracy.step_accuracy(step), 1)
+        row["fd_count"] = experiment.reference_fd_count
+        rows.append(row)
+    return rows

@@ -1,0 +1,74 @@
+"""Plain-text rendering of experiment results.
+
+Every table/figure module produces a list of dictionaries (one per row);
+:func:`render_table` turns them into an aligned ASCII table so the CLI and
+EXPERIMENTS.md can show the regenerated numbers next to the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render a list of row dictionaries as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[_format_value(row.get(column, "")) for column in columns] for row in rows]
+    widths = [len(column) for column in columns]
+    for line in rendered:
+        for i, cell in enumerate(line):
+            widths[i] = max(widths[i], len(cell))
+    header = " | ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "-+-".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(header)
+    lines.append(separator)
+    for line in rendered:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+    return "\n".join(lines)
+
+
+def render_csv(rows: Sequence[Mapping[str, Any]], columns: Sequence[str] | None = None) -> str:
+    """Render rows as CSV text (for saving results alongside EXPERIMENTS.md)."""
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = [",".join(columns)]
+    for row in rows:
+        lines.append(",".join(str(row.get(column, "")) for column in columns))
+    return "\n".join(lines)
+
+
+def summarise(rows: Iterable[Mapping[str, Any]], key: str) -> dict[str, float]:
+    """Minimum / mean / maximum of a numeric column (used in EXPERIMENTS.md)."""
+    values = [float(row[key]) for row in rows if key in row and row[key] != ""]
+    if not values:
+        return {"min": 0.0, "mean": 0.0, "max": 0.0}
+    return {
+        "min": min(values),
+        "mean": sum(values) / len(values),
+        "max": max(values),
+    }

@@ -1,0 +1,36 @@
+"""Functional-dependency core: canonical FDs, Armstrong reasoning, FD sets, AFDs."""
+
+from .approximate import ApproximateFD, approximate_fds, g3_error, holds_approximately
+from .closure import (
+    attribute_closure,
+    canonical_cover,
+    equivalent,
+    implies,
+    is_minimal,
+    minimise_lhs,
+    project_fds,
+    prune_non_minimal,
+    transitive_fds_through,
+)
+from .fd import FD, FDError, fd
+from .fdset import FDSet
+
+__all__ = [
+    "FD",
+    "FDError",
+    "fd",
+    "FDSet",
+    "attribute_closure",
+    "implies",
+    "equivalent",
+    "is_minimal",
+    "minimise_lhs",
+    "canonical_cover",
+    "prune_non_minimal",
+    "project_fds",
+    "transitive_fds_through",
+    "ApproximateFD",
+    "approximate_fds",
+    "g3_error",
+    "holds_approximately",
+]

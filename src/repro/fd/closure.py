@@ -1,0 +1,174 @@
+"""Armstrong-axiom reasoning: attribute closure, implication, minimal covers.
+
+These are the logical-inference primitives on which InFine's ``inferFDs``
+step (Algorithm 4) and its candidate pruning rely.  All functions operate on
+plain iterables of :class:`~repro.fd.fd.FD` so they can be used on FD sets,
+lists or generators alike.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .fd import FD
+
+
+def attribute_closure(attributes: Iterable[str], fds: Iterable[FD]) -> frozenset[str]:
+    """The closure ``X+`` of ``attributes`` under ``fds``.
+
+    Standard fixed-point computation: repeatedly add the RHS of every FD
+    whose LHS is already contained in the closure.
+    """
+    closure = set(attributes)
+    fds = list(fds)
+    changed = True
+    while changed:
+        changed = False
+        for dependency in fds:
+            if dependency.rhs not in closure and dependency.lhs <= closure:
+                closure.add(dependency.rhs)
+                changed = True
+    return frozenset(closure)
+
+
+def implies(fds: Iterable[FD], candidate: FD) -> bool:
+    """Whether ``fds`` logically implies ``candidate`` (Armstrong axioms)."""
+    return candidate.rhs in attribute_closure(candidate.lhs, fds)
+
+
+def equivalent(first: Iterable[FD], second: Iterable[FD]) -> bool:
+    """Whether two FD sets are logically equivalent (mutual implication)."""
+    first, second = list(first), list(second)
+    return all(implies(second, dependency) for dependency in first) and all(
+        implies(first, dependency) for dependency in second
+    )
+
+
+def is_minimal(candidate: FD, fds: Iterable[FD]) -> bool:
+    """Whether ``candidate`` has a minimal LHS with respect to ``fds``.
+
+    ``X -> a`` is non-minimal if some proper subset ``X' ⊂ X`` already
+    determines ``a`` under ``fds``.
+    """
+    fds = list(fds)
+    for attribute in candidate.lhs:
+        reduced = candidate.lhs - {attribute}
+        if candidate.rhs in attribute_closure(reduced, fds):
+            return False
+    return True
+
+
+def minimise_lhs(candidate: FD, fds: Iterable[FD]) -> FD:
+    """Shrink the LHS of ``candidate`` to a minimal determinant under ``fds``."""
+    fds = list(fds)
+    lhs = set(candidate.lhs)
+    for attribute in sorted(candidate.lhs):
+        reduced = lhs - {attribute}
+        if candidate.rhs in attribute_closure(reduced, fds):
+            lhs = reduced
+    return FD(lhs, candidate.rhs)
+
+
+def canonical_cover(fds: Iterable[FD]) -> list[FD]:
+    """A canonical (minimal) cover of ``fds``.
+
+    The input is already in canonical single-RHS form; this removes redundant
+    FDs and minimises left-hand sides, yielding a deterministic ordering.
+    """
+    current = sorted(set(fds), key=FD.sort_key)
+    # Minimise left-hand sides against the full set.
+    current = sorted({minimise_lhs(dependency, current) for dependency in current},
+                     key=FD.sort_key)
+    # Drop redundant FDs (those implied by the others).
+    cover: list[FD] = []
+    remaining = list(current)
+    for dependency in current:
+        others = [d for d in remaining if d != dependency]
+        if implies(others, dependency):
+            remaining = others
+        else:
+            cover.append(dependency)
+    return sorted(cover, key=FD.sort_key)
+
+
+def prune_non_minimal(candidates: Iterable[FD], known: Iterable[FD]) -> list[FD]:
+    """Remove candidates that are implied by ``known`` FDs.
+
+    This is the pruning step of Algorithms 2, 3 and 5 ("prune non-minimal FDs
+    in D_cand knowing D"): a candidate whose validity already follows from
+    previously discovered FDs need not be checked against the data, and would
+    not be minimal anyway.
+    """
+    known = list(known)
+    return [candidate for candidate in candidates if not implies(known, candidate)]
+
+
+def project_fds(fds: Iterable[FD], attributes: Iterable[str]) -> list[FD]:
+    """Project an FD set onto ``attributes``.
+
+    Computes, for every subset-closure reachable through the retained
+    attributes, the implied FDs whose attributes all lie within
+    ``attributes``.  To stay tractable the projection enumerates closures of
+    subsets of the retained attributes only up to size ``3`` and falls back
+    to filtering whole FDs otherwise; this matches the way the paper uses
+    projection (attributes are pruned *before* mining, so full projection of
+    arbitrary covers is never needed on the hot path).
+    """
+    fds = list(fds)
+    retained = sorted(set(attributes))
+    retained_set = set(retained)
+    direct = [dependency for dependency in fds if dependency.attributes <= retained_set]
+    # Small-subset closure enumeration recovers transitive FDs that traverse
+    # removed attributes (e.g. a -> b -> c with b projected away).
+    results: set[FD] = set(direct)
+    max_lhs = min(3, len(retained))
+    from itertools import combinations
+
+    for size in range(1, max_lhs + 1):
+        for lhs in combinations(retained, size):
+            closure = attribute_closure(lhs, fds)
+            for attribute in closure & retained_set:
+                if attribute in lhs:
+                    continue
+                results.add(FD(lhs, attribute))
+    return canonical_cover(results)
+
+
+def transitive_fds_through(
+    left_fds: Iterable[FD],
+    right_fds: Iterable[FD],
+    left_join_attributes: Sequence[str],
+    right_join_attributes: Sequence[str],
+) -> list[FD]:
+    """FDs inferable across a join by transitivity *through the join attributes*.
+
+    This is the logical core of Theorem 2 / Algorithm 4 (``infer``): if on the
+    join result ``A -> X`` holds (with ``A`` from the left side and ``X`` the
+    left join attributes) and ``Y -> b`` holds (with ``Y`` the right join
+    attributes), then ``A -> b`` holds because the join enforces ``X = Y``.
+
+    The function returns the *raw* inferred FDs; minimisation (the ``refine``
+    subroutine) is data-dependent and lives in :mod:`repro.infine.inference`.
+    """
+    left_fds = list(left_fds)
+    right_fds = list(right_fds)
+    left_join = list(left_join_attributes)
+    right_join = set(right_join_attributes)
+
+    inferred: set[FD] = set()
+    # Determinants A (LHSs of known left FDs, plus the join attributes
+    # themselves) whose closure covers every left join attribute.
+    candidate_determinants = {dependency.lhs for dependency in left_fds}
+    candidate_determinants.add(frozenset(left_join))
+    for determinant in candidate_determinants:
+        closure = attribute_closure(determinant, left_fds)
+        if not set(left_join) <= set(closure):
+            continue
+        # Everything the right join attributes determine on the right side
+        # transfers to this determinant.
+        right_closure = attribute_closure(right_join, right_fds)
+        for attribute in right_closure - right_join:
+            if attribute in determinant:
+                continue
+            inferred.add(FD(determinant, attribute))
+    return sorted(inferred, key=FD.sort_key)

@@ -1,0 +1,110 @@
+"""Canonical functional dependencies.
+
+Throughout the library FDs are kept in *canonical* form: a (possibly empty)
+left-hand side set of attributes and a single right-hand attribute, matching
+the convention used in the paper ("minimal FDs with only one attribute in
+their right-hand part").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+class FDError(ValueError):
+    """Raised for malformed functional dependencies."""
+
+
+@dataclass(frozen=True, init=False)
+class FD:
+    """A canonical functional dependency ``lhs -> rhs``.
+
+    Parameters
+    ----------
+    lhs:
+        Attribute names of the left-hand side (determinant).  May be empty,
+        which expresses that ``rhs`` is constant.
+    rhs:
+        The single right-hand-side attribute (dependent).
+    """
+
+    lhs: frozenset[str]
+    rhs: str
+
+    def __init__(self, lhs: Iterable[str] | str, rhs: str) -> None:
+        if isinstance(lhs, str):
+            lhs = (lhs,)
+        lhs_set = frozenset(lhs)
+        if not rhs or not isinstance(rhs, str):
+            raise FDError(f"FD right-hand side must be a non-empty attribute name, got {rhs!r}")
+        if not all(isinstance(a, str) and a for a in lhs_set):
+            raise FDError(f"FD left-hand side must contain attribute names, got {sorted(lhs_set)}")
+        if rhs in lhs_set:
+            raise FDError(f"trivial FD rejected: {sorted(lhs_set)} -> {rhs}")
+        object.__setattr__(self, "lhs", lhs_set)
+        object.__setattr__(self, "rhs", rhs)
+
+    # -- structural queries ---------------------------------------------------
+    @property
+    def attributes(self) -> frozenset[str]:
+        """Every attribute mentioned by the FD."""
+        return self.lhs | {self.rhs}
+
+    def is_constant(self) -> bool:
+        """Whether the FD has an empty LHS (``{} -> rhs``)."""
+        return not self.lhs
+
+    def generalises(self, other: "FD") -> bool:
+        """Whether this FD implies ``other`` by LHS augmentation.
+
+        ``X -> a`` generalises ``Y -> a`` whenever ``X ⊆ Y``; a discovered
+        ``other`` would then be non-minimal.
+        """
+        return self.rhs == other.rhs and self.lhs <= other.lhs
+
+    def specialises(self, other: "FD") -> bool:
+        """Whether this FD has a superset LHS of ``other`` (same RHS)."""
+        return other.generalises(self)
+
+    def restricted_to(self, attributes: Iterable[str]) -> "FD | None":
+        """Return the FD unchanged if all its attributes are in ``attributes``.
+
+        Returns ``None`` otherwise; used to filter FDs to a view's projected
+        attribute set.
+        """
+        allowed = set(attributes)
+        if self.attributes <= allowed:
+            return self
+        return None
+
+    # -- rendering ------------------------------------------------------------
+    def __str__(self) -> str:
+        lhs = ",".join(sorted(self.lhs)) if self.lhs else "∅"
+        return f"{lhs} -> {self.rhs}"
+
+    def __repr__(self) -> str:
+        return f"FD({sorted(self.lhs)!r} -> {self.rhs!r})"
+
+    def sort_key(self) -> tuple:
+        """Deterministic ordering key (by RHS, then LHS size, then LHS names)."""
+        return (self.rhs, len(self.lhs), tuple(sorted(self.lhs)))
+
+    @classmethod
+    def parse(cls, text: str) -> "FD":
+        """Parse ``"a,b -> c"`` (or ``"∅ -> c"``) into an FD."""
+        if "->" not in text:
+            raise FDError(f"cannot parse FD from {text!r}: missing '->'")
+        lhs_text, rhs_text = text.split("->", 1)
+        rhs = rhs_text.strip()
+        lhs_text = lhs_text.strip()
+        if lhs_text in ("", "∅", "{}"):
+            lhs: tuple[str, ...] = ()
+        else:
+            lhs = tuple(part.strip() for part in lhs_text.split(",") if part.strip())
+        return cls(lhs, rhs)
+
+
+def fd(lhs: Iterable[str] | str, rhs: str) -> FD:
+    """Terse FD constructor used pervasively in tests and dataset definitions."""
+    return FD(lhs, rhs)

@@ -1,0 +1,169 @@
+"""FD set container.
+
+:class:`FDSet` wraps a set of canonical FDs with the operations the
+algorithms need: membership, minimality filtering, logical implication,
+equivalence, difference with provenance-style classification, and
+restriction to an attribute subset.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .closure import attribute_closure, canonical_cover, equivalent, implies
+from .fd import FD
+
+
+class FDSet:
+    """A mutable set of canonical FDs with Armstrong-aware helpers."""
+
+    __slots__ = ("_fds",)
+
+    def __init__(self, fds: Iterable[FD] = ()) -> None:
+        self._fds: set[FD] = set(fds)
+
+    # -- container protocol ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._fds)
+
+    def __iter__(self) -> Iterator[FD]:
+        return iter(sorted(self._fds, key=FD.sort_key))
+
+    def __contains__(self, dependency: object) -> bool:
+        return dependency in self._fds
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FDSet):
+            return self._fds == other._fds
+        if isinstance(other, (set, frozenset)):
+            return self._fds == other
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - rarely used
+        return hash(frozenset(self._fds))
+
+    def __repr__(self) -> str:
+        return f"FDSet({len(self._fds)} FDs)"
+
+    def __or__(self, other: "FDSet | Iterable[FD]") -> "FDSet":
+        return FDSet(self._fds | set(other))
+
+    def __and__(self, other: "FDSet | Iterable[FD]") -> "FDSet":
+        return FDSet(self._fds & set(other))
+
+    def __sub__(self, other: "FDSet | Iterable[FD]") -> "FDSet":
+        return FDSet(self._fds - set(other))
+
+    # -- mutation -------------------------------------------------------------
+    def add(self, dependency: FD) -> None:
+        """Add a single FD."""
+        self._fds.add(dependency)
+
+    def update(self, fds: Iterable[FD]) -> None:
+        """Add several FDs."""
+        self._fds.update(fds)
+
+    def discard(self, dependency: FD) -> None:
+        """Remove an FD if present."""
+        self._fds.discard(dependency)
+
+    # -- queries --------------------------------------------------------------
+    def as_set(self) -> frozenset[FD]:
+        """The underlying FDs as a frozen set."""
+        return frozenset(self._fds)
+
+    def as_list(self) -> list[FD]:
+        """The FDs as a deterministically sorted list."""
+        return sorted(self._fds, key=FD.sort_key)
+
+    def attributes(self) -> frozenset[str]:
+        """All attributes mentioned by any FD in the set."""
+        result: set[str] = set()
+        for dependency in self._fds:
+            result |= dependency.attributes
+        return frozenset(result)
+
+    def with_rhs(self, attribute: str) -> list[FD]:
+        """All FDs whose RHS is ``attribute``."""
+        return sorted((d for d in self._fds if d.rhs == attribute), key=FD.sort_key)
+
+    def closure_of(self, attributes: Iterable[str]) -> frozenset[str]:
+        """Attribute closure under this FD set."""
+        return attribute_closure(attributes, self._fds)
+
+    def implies(self, candidate: FD) -> bool:
+        """Whether the set logically implies ``candidate``."""
+        return implies(self._fds, candidate)
+
+    def is_equivalent_to(self, other: "FDSet | Iterable[FD]") -> bool:
+        """Logical equivalence with another FD set."""
+        return equivalent(self._fds, set(other))
+
+    def restrict_to(self, attributes: Iterable[str]) -> "FDSet":
+        """FDs whose attributes are all within ``attributes``."""
+        allowed = set(attributes)
+        return FDSet(d for d in self._fds if d.attributes <= allowed)
+
+    def minimal_only(self) -> "FDSet":
+        """Drop FDs whose LHS strictly contains the LHS of another FD with the same RHS."""
+        kept: set[FD] = set()
+        for dependency in self._fds:
+            dominated = any(
+                other.rhs == dependency.rhs and other.lhs < dependency.lhs
+                for other in self._fds
+            )
+            if not dominated:
+                kept.add(dependency)
+        return FDSet(kept)
+
+    def canonical(self) -> "FDSet":
+        """A canonical (minimal, non-redundant) cover of the set."""
+        return FDSet(canonical_cover(self._fds))
+
+    def keys_of(self, attributes: Iterable[str]) -> list[frozenset[str]]:
+        """Minimal candidate keys of the schema ``attributes`` implied by the set.
+
+        Exponential in the number of attributes; intended for the small
+        schemas of the paper's views (< 20 attributes) and for tests.
+        """
+        from itertools import combinations
+
+        universe = tuple(sorted(set(attributes)))
+        keys: list[frozenset[str]] = []
+        for size in range(1, len(universe) + 1):
+            for combo in combinations(universe, size):
+                candidate = frozenset(combo)
+                if any(key <= candidate for key in keys):
+                    continue
+                if set(universe) <= self.closure_of(candidate):
+                    keys.append(candidate)
+        return keys
+
+    def difference_report(self, other: "FDSet | Iterable[FD]") -> dict[str, list[FD]]:
+        """Classify FDs of ``self`` against ``other``.
+
+        Returns a dictionary with keys:
+
+        ``shared``
+            FDs present in both sets verbatim.
+        ``implied``
+            FDs of ``self`` not present in ``other`` but implied by it.
+        ``new``
+            FDs of ``self`` neither present in nor implied by ``other``.
+
+        This is the comparison a data steward would run manually with the
+        straightforward approach; InFine produces the same information as
+        provenance triples without the extra pass.
+        """
+        other_set = FDSet(other)
+        shared: list[FD] = []
+        implied_only: list[FD] = []
+        new: list[FD] = []
+        for dependency in self.as_list():
+            if dependency in other_set:
+                shared.append(dependency)
+            elif other_set.implies(dependency):
+                implied_only.append(dependency)
+            else:
+                new.append(dependency)
+        return {"shared": shared, "implied": implied_only, "new": new}

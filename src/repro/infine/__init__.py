@@ -1,0 +1,32 @@
+"""InFine: provenance-aware FD discovery on integrated views (the paper's contribution)."""
+
+from .engine import InFine, InFineResult, InFineStats
+from .inference import InferenceOutcome, infer_join_fds
+from .joinfd import JoinMiningOutcome, mine_join_fds
+from .levelwise import mine_new_fds
+from .provenance import FDType, ProvenanceSet, ProvenanceTriple
+from .selection import SelectionOutcome, selection_fds
+from .straightforward import StraightforwardPipeline, StraightforwardResult
+from .timing import StepTimings
+from .upstaged import JoinUpstageOutcome, join_upstaged_fds
+
+__all__ = [
+    "InFine",
+    "InFineResult",
+    "InFineStats",
+    "FDType",
+    "ProvenanceTriple",
+    "ProvenanceSet",
+    "StepTimings",
+    "selection_fds",
+    "SelectionOutcome",
+    "join_upstaged_fds",
+    "JoinUpstageOutcome",
+    "infer_join_fds",
+    "InferenceOutcome",
+    "mine_join_fds",
+    "JoinMiningOutcome",
+    "mine_new_fds",
+    "StraightforwardPipeline",
+    "StraightforwardResult",
+]

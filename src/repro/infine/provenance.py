@@ -1,0 +1,168 @@
+"""FD provenance: types and provenance triples (Definition 8 of the paper).
+
+Every FD discovered by InFine is annotated with a provenance triple
+``(d, t, s)`` where ``d`` is the FD, ``t`` its type (how it came to hold on
+the view) and ``s`` the first sub-query of the view specification in which
+``d`` holds during view computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Iterator
+
+from ..fd.fd import FD
+from ..fd.fdset import FDSet
+
+
+class FDType(str, Enum):
+    """The provenance type of an FD on an integrated view (Definition 8)."""
+
+    #: The FD already holds on a base relation of the view.
+    BASE = "base"
+    #: The FD becomes exact because a selection filters its violating tuples.
+    UPSTAGED_SELECTION = "upstaged selection"
+    #: The FD becomes exact because the join drops dangling tuples of the left input.
+    UPSTAGED_LEFT = "upstaged left"
+    #: The FD becomes exact because the join drops dangling tuples of the right input.
+    UPSTAGED_RIGHT = "upstaged right"
+    #: The FD follows from the inputs' FDs by Armstrong transitivity through the join attributes.
+    INFERRED = "inferred"
+    #: The FD mixes attributes of both join inputs and had to be mined from (partial) join data.
+    JOIN = "joinFD"
+
+    @property
+    def requires_data_access(self) -> bool:
+        """Whether discovering FDs of this type touches instance data.
+
+        Base FDs are carried over from the inputs and inferred FDs come from
+        pure logical reasoning; the other types require validating candidates
+        against (reduced) instances.
+        """
+        return self in (
+            FDType.UPSTAGED_SELECTION,
+            FDType.UPSTAGED_LEFT,
+            FDType.UPSTAGED_RIGHT,
+            FDType.JOIN,
+        )
+
+
+#: The InFine pipeline step that produces each provenance type (used for the
+#: per-algorithm accuracy/time breakdowns of Fig. 5 and Table III).
+STEP_OF_TYPE: dict[FDType, str] = {
+    FDType.BASE: "base",
+    FDType.UPSTAGED_SELECTION: "upstageFDs",
+    FDType.UPSTAGED_LEFT: "upstageFDs",
+    FDType.UPSTAGED_RIGHT: "upstageFDs",
+    FDType.INFERRED: "inferFDs",
+    FDType.JOIN: "mineFDs",
+}
+
+
+@dataclass(frozen=True)
+class ProvenanceTriple:
+    """A provenance-annotated FD ``(dependency, fd_type, subquery)``."""
+
+    dependency: FD
+    fd_type: FDType
+    subquery: str
+
+    @property
+    def step(self) -> str:
+        """The InFine step that produced this triple."""
+        return STEP_OF_TYPE[self.fd_type]
+
+    def __str__(self) -> str:
+        return f"({self.dependency}, \"{self.fd_type.value}\", {self.subquery})"
+
+
+class ProvenanceSet:
+    """An ordered collection of provenance triples with FD-level helpers.
+
+    The collection keeps the first triple recorded per FD: once an FD has a
+    provenance (e.g. ``base``), later steps never overwrite it, matching the
+    paper's "first sub-query in which the FD holds" semantics.
+    """
+
+    __slots__ = ("_triples", "_by_fd")
+
+    def __init__(self, triples: Iterable[ProvenanceTriple] = ()) -> None:
+        self._triples: list[ProvenanceTriple] = []
+        self._by_fd: dict[FD, ProvenanceTriple] = {}
+        for triple in triples:
+            self.add(triple)
+
+    def add(self, triple: ProvenanceTriple) -> bool:
+        """Add a triple; returns ``False`` if the FD already has provenance."""
+        if triple.dependency in self._by_fd:
+            return False
+        self._by_fd[triple.dependency] = triple
+        self._triples.append(triple)
+        return True
+
+    def extend(self, triples: Iterable[ProvenanceTriple]) -> int:
+        """Add several triples; returns how many were new."""
+        return sum(1 for triple in triples if self.add(triple))
+
+    def merge(self, other: "ProvenanceSet") -> "ProvenanceSet":
+        """A new set containing this set's triples followed by ``other``'s."""
+        merged = ProvenanceSet(self._triples)
+        merged.extend(other._triples)
+        return merged
+
+    # -- queries --------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[ProvenanceTriple]:
+        return iter(self._triples)
+
+    def __contains__(self, dependency: object) -> bool:
+        return dependency in self._by_fd
+
+    def triple_for(self, dependency: FD) -> ProvenanceTriple | None:
+        """The provenance triple of ``dependency`` if it is recorded."""
+        return self._by_fd.get(dependency)
+
+    def fds(self) -> FDSet:
+        """The FDs carried by the triples, as an :class:`FDSet`."""
+        return FDSet(self._by_fd)
+
+    def by_type(self, fd_type: FDType) -> list[ProvenanceTriple]:
+        """All triples of one provenance type, in insertion order."""
+        return [triple for triple in self._triples if triple.fd_type is fd_type]
+
+    def by_step(self, step: str) -> list[ProvenanceTriple]:
+        """All triples produced by one InFine step (``base``/``upstageFDs``/...)."""
+        return [triple for triple in self._triples if triple.step == step]
+
+    def count_by_type(self) -> dict[FDType, int]:
+        """Number of triples per provenance type."""
+        counts = {fd_type: 0 for fd_type in FDType}
+        for triple in self._triples:
+            counts[triple.fd_type] += 1
+        return counts
+
+    def restrict_to(self, attributes: Iterable[str]) -> "ProvenanceSet":
+        """Triples whose FD only mentions attributes in ``attributes``."""
+        allowed = set(attributes)
+        return ProvenanceSet(
+            triple for triple in self._triples if triple.dependency.attributes <= allowed
+        )
+
+    def to_records(self) -> list[dict[str, str]]:
+        """Serialise the triples as plain dictionaries (for reports and CSV export)."""
+        return [
+            {
+                "fd": str(triple.dependency),
+                "type": triple.fd_type.value,
+                "step": triple.step,
+                "subquery": triple.subquery,
+            }
+            for triple in self._triples
+        ]
+
+    def __repr__(self) -> str:
+        counts = {fd_type.value: count for fd_type, count in self.count_by_type().items() if count}
+        return f"ProvenanceSet({len(self._triples)} triples, {counts})"

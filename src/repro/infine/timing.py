@@ -1,0 +1,93 @@
+"""Per-step timing breakdown of an InFine run.
+
+The paper reports, for every view, the time spent in I/O, ``upstageFDs``
+(which also includes ``selectionFDs``), ``inferFDs`` and ``mineFDs`` (which
+includes the partial SPJ computation).  :class:`StepTimings` mirrors that
+accounting so Table III and Fig. 5 can be regenerated directly.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+#: The step names used in the breakdown, in pipeline order.
+STEP_NAMES: tuple[str, ...] = ("io", "base", "upstageFDs", "inferFDs", "mineFDs")
+
+
+@dataclass
+class StepTimings:
+    """Wall-clock seconds spent in each InFine step."""
+
+    io: float = 0.0
+    base: float = 0.0
+    upstage: float = 0.0
+    infer: float = 0.0
+    mine: float = 0.0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        """Total time across all steps (excluding ``extra`` entries)."""
+        return self.io + self.base + self.upstage + self.infer + self.mine
+
+    @property
+    def view_pipeline(self) -> float:
+        """Time of the view-level pipeline (everything except base-table mining).
+
+        The paper excludes base-table FD discovery from the comparison
+        because both InFine and the straightforward approach pay it equally.
+        """
+        return self.io + self.upstage + self.infer + self.mine
+
+    def add(self, step: str, seconds: float) -> None:
+        """Accumulate ``seconds`` into ``step``."""
+        if step == "io":
+            self.io += seconds
+        elif step == "base":
+            self.base += seconds
+        elif step in ("upstage", "upstageFDs", "selectionFDs"):
+            self.upstage += seconds
+        elif step in ("infer", "inferFDs"):
+            self.infer += seconds
+        elif step in ("mine", "mineFDs"):
+            self.mine += seconds
+        else:
+            self.extra[step] = self.extra.get(step, 0.0) + seconds
+
+    @contextmanager
+    def measure(self, step: str) -> Iterator[None]:
+        """Context manager accumulating the elapsed time into ``step``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(step, time.perf_counter() - started)
+
+    def as_dict(self) -> dict[str, float]:
+        """The breakdown as a plain dictionary (report/CSV friendly)."""
+        result = {
+            "io": self.io,
+            "base": self.base,
+            "upstageFDs": self.upstage,
+            "inferFDs": self.infer,
+            "mineFDs": self.mine,
+            "total": self.total,
+        }
+        result.update(self.extra)
+        return result
+
+    def merged_with(self, other: "StepTimings") -> "StepTimings":
+        """Element-wise sum of two breakdowns."""
+        merged = StepTimings(
+            io=self.io + other.io,
+            base=self.base + other.base,
+            upstage=self.upstage + other.upstage,
+            infer=self.infer + other.infer,
+            mine=self.mine + other.mine,
+        )
+        for key, value in {**self.extra, **other.extra}.items():
+            merged.extra[key] = self.extra.get(key, 0.0) + other.extra.get(key, 0.0)
+        return merged

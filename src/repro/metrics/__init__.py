@@ -1,0 +1,25 @@
+"""Evaluation metrics: coverage, accuracy breakdowns and runtime/memory profiling."""
+
+from .accuracy import (
+    BREAKDOWN_STEPS,
+    AccuracyBreakdown,
+    accuracy_breakdown,
+    paper_step_of,
+    self_breakdown,
+)
+from .coverage import join_coverage, side_coverage, view_coverage
+from .profiling import ProfileResult, profile_call, repeat_profile
+
+__all__ = [
+    "join_coverage",
+    "side_coverage",
+    "view_coverage",
+    "AccuracyBreakdown",
+    "accuracy_breakdown",
+    "self_breakdown",
+    "paper_step_of",
+    "BREAKDOWN_STEPS",
+    "ProfileResult",
+    "profile_call",
+    "repeat_profile",
+]

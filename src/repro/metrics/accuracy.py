@@ -1,0 +1,106 @@
+"""Accuracy breakdowns (Table III and the pie charts of Fig. 5).
+
+The paper defines accuracy as the fraction of the FDs found by a classical
+method on the fully computed view that InFine retrieves, and breaks that
+fraction down by the InFine algorithm that retrieved each FD.  In the
+figures, base FDs carried over from the inputs are attributed to the
+``upstageFDs`` step (the step that handles per-side FDs), which is mirrored
+here by :func:`paper_step_of`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..fd.fd import FD
+from ..fd.fdset import FDSet
+from ..infine.engine import InFineResult
+from ..infine.provenance import FDType
+
+#: The three steps of the paper's accuracy breakdown.
+BREAKDOWN_STEPS: tuple[str, ...] = ("upstageFDs", "inferFDs", "mineFDs")
+
+
+def paper_step_of(fd_type: FDType) -> str:
+    """Map a provenance type to the paper's three-way breakdown.
+
+    Base FDs and upstaged FDs are both handled without looking at join data
+    and are reported under ``upstageFDs`` in Fig. 5/Table III; inferred FDs
+    under ``inferFDs``; join FDs under ``mineFDs``.
+    """
+    if fd_type in (FDType.BASE, FDType.UPSTAGED_SELECTION, FDType.UPSTAGED_LEFT,
+                   FDType.UPSTAGED_RIGHT):
+        return "upstageFDs"
+    if fd_type is FDType.INFERRED:
+        return "inferFDs"
+    return "mineFDs"
+
+
+@dataclass
+class AccuracyBreakdown:
+    """Per-step accuracy of one InFine run against a reference FD set."""
+
+    #: Number of reference FDs (found by the baseline on the full view).
+    reference_count: int
+    #: Number of reference FDs that InFine retrieved (exactly).
+    matched: int
+    #: Reference FDs retrieved per paper step.
+    per_step: dict[str, int] = field(default_factory=dict)
+    #: Reference FDs InFine did not report verbatim (should stay empty).
+    missing: list[FD] = field(default_factory=list)
+    #: FDs InFine reported that the reference does not contain.
+    extra: list[FD] = field(default_factory=list)
+
+    @property
+    def total_accuracy(self) -> float:
+        """Fraction of reference FDs retrieved (the paper's accuracy, 1.0 expected)."""
+        if self.reference_count == 0:
+            return 1.0
+        return self.matched / self.reference_count
+
+    def step_accuracy(self, step: str) -> float:
+        """Fraction of reference FDs retrieved by one step."""
+        if self.reference_count == 0:
+            return 0.0
+        return self.per_step.get(step, 0) / self.reference_count
+
+    def as_dict(self) -> dict[str, float]:
+        """Row-friendly rendering (used by the Table III report)."""
+        result = {f"{step}_accuracy": round(self.step_accuracy(step), 4) for step in BREAKDOWN_STEPS}
+        result["total_accuracy"] = round(self.total_accuracy, 4)
+        result["fd_count"] = self.reference_count
+        return result
+
+
+def accuracy_breakdown(result: InFineResult, reference: FDSet | Iterable[FD]) -> AccuracyBreakdown:
+    """Compare an InFine run against the FDs found on the fully computed view."""
+    reference_set = reference if isinstance(reference, FDSet) else FDSet(reference)
+    per_step: dict[str, int] = {step: 0 for step in BREAKDOWN_STEPS}
+    matched = 0
+    infine_fds = set()
+    for triple in result.provenance:
+        infine_fds.add(triple.dependency)
+        if triple.dependency in reference_set:
+            matched += 1
+            per_step[paper_step_of(triple.fd_type)] += 1
+    missing = [d for d in reference_set if d not in infine_fds]
+    extra = sorted(infine_fds - set(reference_set.as_set()), key=FD.sort_key)
+    return AccuracyBreakdown(
+        reference_count=len(reference_set),
+        matched=matched,
+        per_step=per_step,
+        missing=missing,
+        extra=extra,
+    )
+
+
+def self_breakdown(result: InFineResult) -> dict[str, float]:
+    """Fraction of InFine's own FDs per paper step (when no reference is available)."""
+    counts = {step: 0 for step in BREAKDOWN_STEPS}
+    for triple in result.provenance:
+        counts[paper_step_of(triple.fd_type)] += 1
+    total = sum(counts.values())
+    if total == 0:
+        return {step: 0.0 for step in BREAKDOWN_STEPS}
+    return {step: count / total for step, count in counts.items()}

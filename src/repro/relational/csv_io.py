@@ -1,0 +1,137 @@
+"""CSV import/export for relations.
+
+The paper's datasets are distributed as CSV dumps; this module provides the
+matching load/save helpers so that users can run InFine on their own data.
+Typed parsing follows the logical attribute types of the schema when one is
+provided, otherwise a light-weight type inference is applied.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from .relation import NULL, Relation
+from .schema import Attribute, RelationSchema
+
+#: Strings interpreted as NULL when loading CSV files.
+NULL_TOKENS = frozenset({"", "NULL", "null", "None", "NA", "N/A", "\\N"})
+
+
+def _parse_typed(value: str, dtype: str) -> Any:
+    if value in NULL_TOKENS:
+        return NULL
+    if dtype == "integer":
+        return int(value)
+    if dtype == "float":
+        return float(value)
+    if dtype == "boolean":
+        return value.strip().lower() in ("1", "true", "t", "yes", "y")
+    return value
+
+
+def _infer(value: str) -> Any:
+    if value in NULL_TOKENS:
+        return NULL
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        pass
+    return value
+
+
+def load_csv(
+    path: str | Path,
+    name: str | None = None,
+    schema: RelationSchema | Sequence[str] | None = None,
+    delimiter: str = ",",
+    infer_types: bool = True,
+) -> Relation:
+    """Load a relation from a CSV file with a header row.
+
+    Parameters
+    ----------
+    path:
+        Path to the CSV file.
+    name:
+        Relation name; defaults to the file stem.
+    schema:
+        Optional schema; when provided, its attribute types drive value
+        parsing and its names must match the CSV header.
+    delimiter:
+        Field separator.
+    infer_types:
+        When no schema is given, whether to attempt int/float inference.
+    """
+    path = Path(path)
+    relation_name = name or path.stem
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"CSV file {path} is empty (no header row)") from None
+        if schema is None:
+            resolved = RelationSchema(header)
+            parse = _infer if infer_types else (lambda v: NULL if v in NULL_TOKENS else v)
+            rows = [tuple(parse(value) for value in record) for record in reader]
+        else:
+            if not isinstance(schema, RelationSchema):
+                resolved = RelationSchema(schema)
+            else:
+                resolved = schema
+            if list(resolved.names) != list(header):
+                raise ValueError(
+                    f"CSV header {header} does not match schema {list(resolved.names)}"
+                )
+            dtypes = [attribute.dtype for attribute in resolved]
+            rows = [
+                tuple(_parse_typed(value, dtypes[i]) for i, value in enumerate(record))
+                for record in reader
+            ]
+    return Relation(relation_name, resolved, rows)
+
+
+def save_csv(relation: Relation, path: str | Path, delimiter: str = ",") -> Path:
+    """Write a relation to a CSV file (NULLs serialised as empty strings)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(relation.attribute_names)
+        for row in relation.rows:
+            writer.writerow(["" if value is NULL else value for value in row])
+    return path
+
+
+def save_catalog(catalog: dict[str, Relation], directory: str | Path) -> list[Path]:
+    """Write every relation of a catalogue to ``directory`` as ``<name>.csv``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    return [save_csv(relation, directory / f"{name}.csv") for name, relation in catalog.items()]
+
+
+def load_catalog(directory: str | Path, names: Iterable[str] | None = None) -> dict[str, Relation]:
+    """Load every ``*.csv`` file of ``directory`` (or just ``names``) into a catalogue."""
+    directory = Path(directory)
+    catalog: dict[str, Relation] = {}
+    if names is None:
+        paths = sorted(directory.glob("*.csv"))
+    else:
+        paths = [directory / f"{name}.csv" for name in names]
+    for path in paths:
+        relation = load_csv(path)
+        catalog[relation.name] = relation
+    return catalog
+
+
+def schema_from_types(names: Sequence[str], dtypes: Sequence[str]) -> RelationSchema:
+    """Build a schema from parallel name/type lists (helper for CSV loaders)."""
+    if len(names) != len(dtypes):
+        raise ValueError("names and dtypes must have the same length")
+    return RelationSchema([Attribute(n, t) for n, t in zip(names, dtypes)])

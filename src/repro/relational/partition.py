@@ -1,0 +1,262 @@
+"""Stripped partitions (position list indexes).
+
+A *partition* of a relation with respect to an attribute set ``X`` groups the
+row positions that agree on ``X``.  The *stripped* partition drops singleton
+groups; it is the central data structure of partition-based FD discovery
+(TANE [Huhtala et al. 1999], FUN [Novelli & Cicchetti 2001]) and of the
+validation steps used by InFine.
+
+Key facts used by the algorithms:
+
+* an FD ``X -> a`` holds iff the error of ``X`` equals the error of
+  ``X ∪ {a}`` (equivalently, refining the partition of ``X`` by ``a`` does not
+  split any group);
+* partitions compose: ``partition(XY) = partition(X) * partition(Y)`` where
+  ``*`` is the product implemented by :meth:`StrippedPartition.intersect`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+from .relation import Relation
+
+
+class StrippedPartition:
+    """A stripped partition over the row positions of a relation.
+
+    Parameters
+    ----------
+    groups:
+        Equivalence classes (lists of row positions) of size at least two.
+    n_rows:
+        Total number of rows of the underlying relation (needed to recover
+        the number of singleton classes and compute errors).
+    """
+
+    __slots__ = ("groups", "n_rows")
+
+    def __init__(self, groups: Iterable[Sequence[int]], n_rows: int) -> None:
+        self.groups: tuple[tuple[int, ...], ...] = tuple(
+            tuple(group) for group in groups if len(group) > 1
+        )
+        self.n_rows = n_rows
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def from_column(cls, relation: Relation, attribute: str) -> "StrippedPartition":
+        """Build the stripped partition of a single attribute."""
+        index: dict[object, list[int]] = defaultdict(list)
+        column_idx = relation.schema.index_of(attribute)
+        for position, row in enumerate(relation.rows):
+            index[row[column_idx]].append(position)
+        return cls(index.values(), len(relation))
+
+    @classmethod
+    def from_columns(cls, relation: Relation, attributes: Sequence[str]) -> "StrippedPartition":
+        """Build the stripped partition of an attribute combination directly."""
+        if not attributes:
+            # The empty attribute set puts every row in one class.
+            return cls([list(range(len(relation)))], len(relation))
+        idxs = relation.schema.indexes_of(attributes)
+        index: dict[tuple, list[int]] = defaultdict(list)
+        for position, row in enumerate(relation.rows):
+            index[tuple(row[i] for i in idxs)].append(position)
+        return cls(index.values(), len(relation))
+
+    # -- measures -------------------------------------------------------------
+    @property
+    def n_groups(self) -> int:
+        """Number of non-singleton equivalence classes."""
+        return len(self.groups)
+
+    @property
+    def stripped_size(self) -> int:
+        """Total number of positions kept in non-singleton classes (``||π||``)."""
+        return sum(len(group) for group in self.groups)
+
+    @property
+    def error(self) -> int:
+        """The TANE error ``e(X) = ||π|| - |π|``.
+
+        ``X -> a`` holds exactly iff ``error(X) == error(X ∪ {a})``.
+        """
+        return self.stripped_size - self.n_groups
+
+    @property
+    def distinct_count(self) -> int:
+        """Number of distinct values (classes including singletons)."""
+        return self.n_rows - self.stripped_size + self.n_groups
+
+    def is_key(self) -> bool:
+        """Whether the attribute set is a (super)key: every class is a singleton."""
+        return not self.groups
+
+    def g3_error(self) -> float:
+        """The g3 measure used for approximate FDs when this partition refines RHS.
+
+        Here this returns the *fraction of rows that must be removed* for the
+        partition to become a key, which is the standard normalisation of the
+        TANE error used for AFD thresholds.
+        """
+        if self.n_rows == 0:
+            return 0.0
+        return self.error / self.n_rows
+
+    # -- operations -----------------------------------------------------------
+    def intersect(self, other: "StrippedPartition") -> "StrippedPartition":
+        """Partition product ``π(X) * π(Y) = π(XY)`` (linear-time algorithm)."""
+        if self.n_rows != other.n_rows:
+            raise ValueError("cannot intersect partitions over different relations")
+        # Map each position covered by `self` to its group id.
+        group_of: dict[int, int] = {}
+        for group_id, group in enumerate(self.groups):
+            for position in group:
+                group_of[position] = group_id
+        # Probe with `other`; positions not covered by `self` are singletons there.
+        buckets: dict[tuple[int, int], list[int]] = defaultdict(list)
+        for other_id, group in enumerate(other.groups):
+            for position in group:
+                own_id = group_of.get(position)
+                if own_id is not None:
+                    buckets[(own_id, other_id)].append(position)
+        return StrippedPartition(buckets.values(), self.n_rows)
+
+    def refines(self, other: "StrippedPartition") -> bool:
+        """Whether every class of ``self`` is contained in a class of ``other``.
+
+        ``π(X) refines π(A)`` is exactly the condition for ``X -> A``.
+        """
+        if self.n_rows != other.n_rows:
+            raise ValueError("cannot compare partitions over different relations")
+        class_of: dict[int, int] = {}
+        for group_id, group in enumerate(other.groups):
+            for position in group:
+                class_of[position] = group_id
+        for group in self.groups:
+            first = class_of.get(group[0], -1 - group[0])
+            for position in group[1:]:
+                if class_of.get(position, -1 - position) != first:
+                    return False
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StrippedPartition):
+            return NotImplemented
+        mine = {frozenset(group) for group in self.groups}
+        theirs = {frozenset(group) for group in other.groups}
+        return self.n_rows == other.n_rows and mine == theirs
+
+    def __hash__(self) -> int:  # pragma: no cover - not used as dict key
+        return hash((self.n_rows, frozenset(frozenset(g) for g in self.groups)))
+
+    def __repr__(self) -> str:
+        return f"StrippedPartition(groups={self.n_groups}, rows={self.n_rows}, error={self.error})"
+
+
+class PartitionCache:
+    """Memoising cache of stripped partitions for one relation.
+
+    Attribute combinations are cached by frozenset of attribute names.
+    Combinations are built either directly from the columns (for small sets)
+    or by intersecting cached sub-partitions, whichever is available.
+    """
+
+    def __init__(self, relation: Relation) -> None:
+        self.relation = relation
+        self._cache: dict[frozenset[str], StrippedPartition] = {}
+
+    def get(self, attributes: Iterable[str]) -> StrippedPartition:
+        """Return (computing and caching if needed) the partition of ``attributes``."""
+        key = frozenset(attributes)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        partition = self._compute(key)
+        self._cache[key] = partition
+        return partition
+
+    def _compute(self, key: frozenset[str]) -> StrippedPartition:
+        if len(key) <= 1:
+            return StrippedPartition.from_columns(self.relation, sorted(key))
+        # Prefer composing from a cached subset of size |key| - 1 (typical for
+        # level-wise exploration, where all subsets were requested earlier).
+        for attribute in sorted(key):
+            subset = key - {attribute}
+            if subset in self._cache:
+                return self._cache[subset].intersect(self.get([attribute]))
+        # Otherwise build recursively so every prefix ends up cached and can
+        # be reused by sibling candidates.
+        first = sorted(key)[0]
+        return self.get(key - {first}).intersect(self.get([first]))
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+def fd_holds(relation: Relation, lhs: Iterable[str], rhs: str,
+             cache: PartitionCache | None = None) -> bool:
+    """Check whether the FD ``lhs -> rhs`` holds on ``relation``.
+
+    Uses partition errors; a :class:`PartitionCache` can be supplied to share
+    work across many checks on the same relation.
+    """
+    lhs = sorted(set(lhs))
+    if rhs in lhs:
+        return True
+    if cache is None:
+        cache = PartitionCache(relation)
+    lhs_partition = cache.get(lhs)
+    full_partition = cache.get(list(lhs) + [rhs])
+    return lhs_partition.error == full_partition.error
+
+
+def fd_holds_fast(
+    relation: Relation,
+    lhs_partition: StrippedPartition,
+    rhs: str,
+) -> bool:
+    """Check ``lhs -> rhs`` given the LHS partition, with early exit on violation.
+
+    Scans each non-singleton LHS equivalence class and verifies that the RHS
+    value is constant within the class.  This avoids materialising the
+    ``lhs ∪ {rhs}`` partition, which makes the (frequent) *failing* checks of
+    selective mining almost free: the first class with two distinct RHS
+    values aborts the scan.
+    """
+    rhs_idx = relation.schema.index_of(rhs)
+    rows = relation.rows
+    for group in lhs_partition.groups:
+        first_value = rows[group[0]][rhs_idx]
+        for position in group[1:]:
+            if rows[position][rhs_idx] != first_value:
+                return False
+    return True
+
+
+def fd_violation_fraction(relation: Relation, lhs: Iterable[str], rhs: str,
+                          cache: PartitionCache | None = None) -> float:
+    """The g3 error of ``lhs -> rhs``: fraction of rows to drop for it to hold.
+
+    For every equivalence class of the LHS partition, all rows except those
+    carrying the most frequent RHS value must be removed; g3 is the total
+    number of such removals divided by the relation size.
+    """
+    lhs = sorted(set(lhs))
+    if not len(relation):
+        return 0.0
+    if rhs in lhs:
+        return 0.0
+    if cache is None:
+        cache = PartitionCache(relation)
+    lhs_partition = cache.get(lhs)
+    rhs_idx = relation.schema.index_of(rhs)
+    rows = relation.rows
+    removals = 0
+    for group in lhs_partition.groups:
+        counts: dict[object, int] = defaultdict(int)
+        for position in group:
+            counts[rows[position][rhs_idx]] += 1
+        removals += len(group) - max(counts.values())
+    return removals / len(relation)

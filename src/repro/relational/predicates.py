@@ -1,0 +1,266 @@
+"""Selection predicates for SPJ view specifications.
+
+Predicates form a small expression AST evaluated against row dictionaries.
+They cover the fragment needed by the paper's SPJ views (comparisons against
+constants, attribute-to-attribute comparisons, conjunction, disjunction,
+negation, set membership and NULL tests).
+"""
+
+from __future__ import annotations
+
+import operator
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class PredicateError(ValueError):
+    """Raised when a predicate is malformed or references unknown attributes."""
+
+
+class Predicate(ABC):
+    """Base class of the selection-predicate AST."""
+
+    @abstractmethod
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        """Evaluate the predicate on a row mapping attribute name -> value."""
+
+    @abstractmethod
+    def attributes(self) -> frozenset[str]:
+        """The attributes the predicate refers to."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """A SQL-flavoured rendering used in provenance sub-query strings."""
+
+    # Convenient composition operators.
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+    def __str__(self) -> str:  # pragma: no cover - delegation
+        return self.describe()
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """``attribute <op> constant`` comparison.
+
+    Comparisons against NULL rows are false (three-valued logic collapsed to
+    boolean), except for explicit equality with ``None``.
+    """
+
+    attribute: str
+    op: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise PredicateError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        if self.attribute not in row:
+            raise PredicateError(f"row has no attribute {self.attribute!r}")
+        actual = row[self.attribute]
+        if actual is None or self.value is None:
+            if self.op == "==":
+                return actual is None and self.value is None
+            if self.op == "!=":
+                return (actual is None) != (self.value is None)
+            return False
+        try:
+            return _COMPARATORS[self.op](actual, self.value)
+        except TypeError:
+            # Incomparable types (e.g. str vs int) never satisfy an ordering.
+            return False
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset({self.attribute})
+
+    def describe(self) -> str:
+        return f"{self.attribute} {self.op} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class AttributeComparison(Predicate):
+    """``left_attribute <op> right_attribute`` comparison within one row."""
+
+    left: str
+    op: str
+    right: str
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise PredicateError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        lhs, rhs = row.get(self.left), row.get(self.right)
+        if lhs is None or rhs is None:
+            return self.op == "==" and lhs is None and rhs is None
+        try:
+            return _COMPARATORS[self.op](lhs, rhs)
+        except TypeError:
+            return False
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset({self.left, self.right})
+
+    def describe(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class InSet(Predicate):
+    """``attribute IN (v1, v2, ...)`` membership test."""
+
+    attribute: str
+    values: frozenset
+
+    def __init__(self, attribute: str, values: Iterable[Any]) -> None:
+        object.__setattr__(self, "attribute", attribute)
+        object.__setattr__(self, "values", frozenset(values))
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return row.get(self.attribute) in self.values
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset({self.attribute})
+
+    def describe(self) -> str:
+        rendered = ", ".join(sorted(repr(v) for v in self.values))
+        return f"{self.attribute} IN ({rendered})"
+
+
+@dataclass(frozen=True)
+class IsNull(Predicate):
+    """``attribute IS [NOT] NULL`` test."""
+
+    attribute: str
+    negated: bool = False
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        is_null = row.get(self.attribute) is None
+        return not is_null if self.negated else is_null
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset({self.attribute})
+
+    def describe(self) -> str:
+        return f"{self.attribute} IS {'NOT ' if self.negated else ''}NULL"
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Logical conjunction of two predicates."""
+
+    left: Predicate
+    right: Predicate
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return self.left.evaluate(row) and self.right.evaluate(row)
+
+    def attributes(self) -> frozenset[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} AND {self.right.describe()})"
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Logical disjunction of two predicates."""
+
+    left: Predicate
+    right: Predicate
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return self.left.evaluate(row) or self.right.evaluate(row)
+
+    def attributes(self) -> frozenset[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} OR {self.right.describe()})"
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Logical negation of a predicate."""
+
+    child: Predicate
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return not self.child.evaluate(row)
+
+    def attributes(self) -> frozenset[str]:
+        return self.child.attributes()
+
+    def describe(self) -> str:
+        return f"(NOT {self.child.describe()})"
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """A predicate that accepts every row (useful as a neutral element)."""
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return True
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset()
+
+    def describe(self) -> str:
+        return "TRUE"
+
+
+def conjunction(predicates: Iterable[Predicate]) -> Predicate:
+    """Combine several predicates with AND; returns TRUE if none are given."""
+    result: Predicate | None = None
+    for predicate in predicates:
+        result = predicate if result is None else And(result, predicate)
+    return result if result is not None else TruePredicate()
+
+
+# Short constructor aliases used by the dataset/view definitions.
+def eq(attribute: str, value: Any) -> Comparison:
+    """``attribute == value``."""
+    return Comparison(attribute, "==", value)
+
+
+def ne(attribute: str, value: Any) -> Comparison:
+    """``attribute != value``."""
+    return Comparison(attribute, "!=", value)
+
+
+def lt(attribute: str, value: Any) -> Comparison:
+    """``attribute < value``."""
+    return Comparison(attribute, "<", value)
+
+
+def le(attribute: str, value: Any) -> Comparison:
+    """``attribute <= value``."""
+    return Comparison(attribute, "<=", value)
+
+
+def gt(attribute: str, value: Any) -> Comparison:
+    """``attribute > value``."""
+    return Comparison(attribute, ">", value)
+
+
+def ge(attribute: str, value: Any) -> Comparison:
+    """``attribute >= value``."""
+    return Comparison(attribute, ">=", value)

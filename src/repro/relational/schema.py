@@ -1,0 +1,169 @@
+"""Relation schemas and attributes.
+
+The relational substrate of this reproduction is intentionally small and
+self-contained: a :class:`RelationSchema` is an ordered collection of
+:class:`Attribute` objects, each carrying a name and an optional logical
+type.  Schemas are immutable; all algebra operators derive new schemas
+rather than mutating existing ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+
+class SchemaError(ValueError):
+    """Raised when a schema is malformed or an attribute lookup fails."""
+
+
+#: Logical types recognised by the substrate.  They are informational only:
+#: the engine never coerces values, but generators and CSV I/O use them to
+#: parse columns consistently.
+ATTRIBUTE_TYPES = ("string", "integer", "float", "boolean", "date")
+
+
+@dataclass(frozen=True, order=True)
+class Attribute:
+    """A single named attribute (column) of a relation.
+
+    Parameters
+    ----------
+    name:
+        The attribute name.  Names must be non-empty and unique within a
+        schema.
+    dtype:
+        Logical type; one of :data:`ATTRIBUTE_TYPES`.  Defaults to
+        ``"string"``.
+    """
+
+    name: str
+    dtype: str = field(default="string", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"attribute name must be a non-empty string, got {self.name!r}")
+        if self.dtype not in ATTRIBUTE_TYPES:
+            raise SchemaError(
+                f"unknown attribute type {self.dtype!r}; expected one of {ATTRIBUTE_TYPES}"
+            )
+
+    def renamed(self, new_name: str) -> "Attribute":
+        """Return a copy of this attribute with a different name."""
+        return Attribute(new_name, self.dtype)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+class RelationSchema:
+    """An ordered, immutable collection of uniquely named attributes."""
+
+    __slots__ = ("_attributes", "_index")
+
+    def __init__(self, attributes: Iterable[Attribute | str]) -> None:
+        attrs: list[Attribute] = []
+        for attribute in attributes:
+            if isinstance(attribute, str):
+                attribute = Attribute(attribute)
+            elif not isinstance(attribute, Attribute):
+                raise SchemaError(f"expected Attribute or str, got {type(attribute).__name__}")
+            attrs.append(attribute)
+        names = [a.name for a in attrs]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise SchemaError(f"duplicate attribute names in schema: {sorted(duplicates)}")
+        self._attributes: tuple[Attribute, ...] = tuple(attrs)
+        self._index: dict[str, int] = {a.name: i for i, a in enumerate(attrs)}
+
+    # -- basic container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Attribute):
+            return item.name in self._index
+        return item in self._index
+
+    def __getitem__(self, key: int | str) -> Attribute:
+        if isinstance(key, int):
+            return self._attributes[key]
+        try:
+            return self._attributes[self._index[key]]
+        except KeyError:
+            raise SchemaError(f"unknown attribute {key!r}; schema has {self.names}") from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationSchema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        return f"RelationSchema({list(self.names)})"
+
+    # -- queries -------------------------------------------------------------------
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        """The attributes, in schema order."""
+        return self._attributes
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """The attribute names, in schema order."""
+        return tuple(a.name for a in self._attributes)
+
+    def index_of(self, name: str) -> int:
+        """Return the positional index of attribute ``name``."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"unknown attribute {name!r}; schema has {self.names}") from None
+
+    def indexes_of(self, names: Sequence[str]) -> tuple[int, ...]:
+        """Return positional indexes for several attribute names."""
+        return tuple(self.index_of(name) for name in names)
+
+    def has(self, name: str) -> bool:
+        """Whether this schema contains an attribute called ``name``."""
+        return name in self._index
+
+    # -- derivations ---------------------------------------------------------------
+    def project(self, names: Sequence[str]) -> "RelationSchema":
+        """Return a schema restricted to ``names`` (in the given order)."""
+        return RelationSchema([self[name] for name in names])
+
+    def drop(self, names: Iterable[str]) -> "RelationSchema":
+        """Return a schema without the attributes in ``names``."""
+        dropped = set(names)
+        missing = dropped - set(self.names)
+        if missing:
+            raise SchemaError(f"cannot drop unknown attributes {sorted(missing)}")
+        return RelationSchema([a for a in self._attributes if a.name not in dropped])
+
+    def concat(self, other: "RelationSchema") -> "RelationSchema":
+        """Concatenate two schemas; attribute names must not collide."""
+        overlap = set(self.names) & set(other.names)
+        if overlap:
+            raise SchemaError(f"schema concatenation would duplicate attributes {sorted(overlap)}")
+        return RelationSchema(self._attributes + other._attributes)
+
+    def renamed(self, mapping: dict[str, str]) -> "RelationSchema":
+        """Return a schema with attributes renamed according to ``mapping``."""
+        unknown = set(mapping) - set(self.names)
+        if unknown:
+            raise SchemaError(f"cannot rename unknown attributes {sorted(unknown)}")
+        return RelationSchema(
+            [a.renamed(mapping.get(a.name, a.name)) for a in self._attributes]
+        )
+
+
+def make_schema(*names: str, dtypes: dict[str, str] | None = None) -> RelationSchema:
+    """Convenience constructor: ``make_schema("a", "b", dtypes={"a": "integer"})``."""
+    dtypes = dtypes or {}
+    return RelationSchema([Attribute(name, dtypes.get(name, "string")) for name in names])

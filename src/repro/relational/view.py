@@ -1,0 +1,280 @@
+"""SPJ view specifications.
+
+A view specification is an expression tree over base relations, limited to
+the operator set of Definition 2 in the paper: projection, selection and the
+{inner, left outer, right outer, full outer, left semi, right semi} joins.
+
+Every node knows how to
+
+* report its *projected attribute set* ``proj()`` (Definition 3),
+* report the base relation names it references,
+* evaluate itself against a catalogue of base :class:`Relation` instances,
+* describe itself as a SQL-flavoured sub-query string used in provenance
+  triples.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+from .algebra import JoinKind, equi_join, project, select
+from .predicates import Predicate
+from .relation import Relation
+from .schema import SchemaError
+
+
+class ViewError(ValueError):
+    """Raised for malformed view specifications."""
+
+
+Catalog = Mapping[str, Relation]
+"""A catalogue mapping base-relation names to their instances."""
+
+
+class ViewSpec(ABC):
+    """Base class of view-specification nodes."""
+
+    @abstractmethod
+    def projected_attributes(self, catalog: Catalog) -> tuple[str, ...]:
+        """The ``proj()`` attribute set of Definition 3, in a stable order."""
+
+    @abstractmethod
+    def base_relation_names(self) -> tuple[str, ...]:
+        """Names of the base relations referenced by this specification."""
+
+    @abstractmethod
+    def evaluate(self, catalog: Catalog) -> Relation:
+        """Materialise the view against ``catalog``."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """A sub-query string for provenance triples."""
+
+    @abstractmethod
+    def children(self) -> tuple["ViewSpec", ...]:
+        """The direct sub-specifications."""
+
+    def walk(self) -> Iterator["ViewSpec"]:
+        """Depth-first iteration over the specification tree (post-order)."""
+        for child in self.children():
+            yield from child.walk()
+        yield self
+
+    def depth(self) -> int:
+        """Height of the specification tree (a base relation has depth 1)."""
+        kids = self.children()
+        return 1 + (max(child.depth() for child in kids) if kids else 0)
+
+    def join_count(self) -> int:
+        """Number of join operators in the specification."""
+        return sum(1 for node in self.walk() if isinstance(node, JoinSpec))
+
+    def __str__(self) -> str:  # pragma: no cover - delegation
+        return self.describe()
+
+
+@dataclass(frozen=True)
+class BaseRelationSpec(ViewSpec):
+    """A leaf node referencing a base relation by name."""
+
+    relation_name: str
+
+    def projected_attributes(self, catalog: Catalog) -> tuple[str, ...]:
+        return self._resolve(catalog).attribute_names
+
+    def base_relation_names(self) -> tuple[str, ...]:
+        return (self.relation_name,)
+
+    def evaluate(self, catalog: Catalog) -> Relation:
+        return self._resolve(catalog)
+
+    def describe(self) -> str:
+        return self.relation_name
+
+    def children(self) -> tuple[ViewSpec, ...]:
+        return ()
+
+    def _resolve(self, catalog: Catalog) -> Relation:
+        try:
+            return catalog[self.relation_name]
+        except KeyError:
+            raise ViewError(
+                f"catalogue has no relation named {self.relation_name!r}; "
+                f"known relations: {sorted(catalog)}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class ProjectSpec(ViewSpec):
+    """``π_attributes(child)``."""
+
+    child: ViewSpec
+    attributes: tuple[str, ...]
+
+    def __init__(self, child: ViewSpec, attributes: Sequence[str]) -> None:
+        if not attributes:
+            raise ViewError("projection requires at least one attribute")
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "attributes", tuple(attributes))
+
+    def projected_attributes(self, catalog: Catalog) -> tuple[str, ...]:
+        available = set(self.child.projected_attributes(catalog))
+        missing = set(self.attributes) - available
+        if missing:
+            raise ViewError(
+                f"projection references attributes {sorted(missing)} not produced by its input"
+            )
+        return self.attributes
+
+    def base_relation_names(self) -> tuple[str, ...]:
+        return self.child.base_relation_names()
+
+    def evaluate(self, catalog: Catalog) -> Relation:
+        return project(self.child.evaluate(catalog), self.attributes, name=self.describe())
+
+    def describe(self) -> str:
+        return f"PROJECT[{', '.join(self.attributes)}]({self.child.describe()})"
+
+    def children(self) -> tuple[ViewSpec, ...]:
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class SelectSpec(ViewSpec):
+    """``σ_predicate(child)``."""
+
+    child: ViewSpec
+    predicate: Predicate
+
+    def projected_attributes(self, catalog: Catalog) -> tuple[str, ...]:
+        return self.child.projected_attributes(catalog)
+
+    def base_relation_names(self) -> tuple[str, ...]:
+        return self.child.base_relation_names()
+
+    def evaluate(self, catalog: Catalog) -> Relation:
+        return select(self.child.evaluate(catalog), self.predicate, name=self.describe())
+
+    def describe(self) -> str:
+        return f"SELECT[{self.predicate.describe()}]({self.child.describe()})"
+
+    def children(self) -> tuple[ViewSpec, ...]:
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class JoinSpec(ViewSpec):
+    """``left ⋈_{left_on = right_on} right`` with a configurable join kind."""
+
+    left: ViewSpec
+    right: ViewSpec
+    left_on: tuple[str, ...]
+    right_on: tuple[str, ...]
+    kind: JoinKind = field(default=JoinKind.INNER)
+
+    def __init__(
+        self,
+        left: ViewSpec,
+        right: ViewSpec,
+        left_on: Sequence[str],
+        right_on: Sequence[str] | None = None,
+        kind: JoinKind = JoinKind.INNER,
+    ) -> None:
+        right_on = tuple(right_on) if right_on is not None else tuple(left_on)
+        if len(tuple(left_on)) != len(right_on):
+            raise ViewError("join attribute lists must have the same length")
+        if not left_on:
+            raise ViewError("join requires at least one join attribute")
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+        object.__setattr__(self, "left_on", tuple(left_on))
+        object.__setattr__(self, "right_on", right_on)
+        object.__setattr__(self, "kind", kind)
+
+    def projected_attributes(self, catalog: Catalog) -> tuple[str, ...]:
+        left_attrs = self.left.projected_attributes(catalog)
+        right_attrs = self.right.projected_attributes(catalog)
+        if self.kind is JoinKind.LEFT_SEMI:
+            return left_attrs
+        if self.kind is JoinKind.RIGHT_SEMI:
+            return right_attrs
+        dropped = {r for l, r in zip(self.left_on, self.right_on) if l == r}
+        return left_attrs + tuple(a for a in right_attrs if a not in dropped)
+
+    def base_relation_names(self) -> tuple[str, ...]:
+        return self.left.base_relation_names() + self.right.base_relation_names()
+
+    def evaluate(self, catalog: Catalog) -> Relation:
+        return equi_join(
+            self.left.evaluate(catalog),
+            self.right.evaluate(catalog),
+            self.left_on,
+            self.right_on,
+            kind=self.kind,
+            name=self.describe(),
+        )
+
+    def describe(self) -> str:
+        condition = " AND ".join(
+            f"{l} = {r}" for l, r in zip(self.left_on, self.right_on)
+        )
+        return (
+            f"({self.left.describe()} {self.kind.symbol} {self.right.describe()}"
+            f" ON {condition})"
+        )
+
+    def children(self) -> tuple[ViewSpec, ...]:
+        return (self.left, self.right)
+
+
+# -- convenience constructors -----------------------------------------------------
+def base(relation_name: str) -> BaseRelationSpec:
+    """Shorthand for :class:`BaseRelationSpec`."""
+    return BaseRelationSpec(relation_name)
+
+
+def proj(child: ViewSpec, attributes: Sequence[str]) -> ProjectSpec:
+    """Shorthand for :class:`ProjectSpec`."""
+    return ProjectSpec(child, attributes)
+
+
+def sel(child: ViewSpec, predicate: Predicate) -> SelectSpec:
+    """Shorthand for :class:`SelectSpec`."""
+    return SelectSpec(child, predicate)
+
+
+def join(
+    left: ViewSpec,
+    right: ViewSpec,
+    on: Sequence[str] | str,
+    right_on: Sequence[str] | str | None = None,
+    kind: JoinKind = JoinKind.INNER,
+) -> JoinSpec:
+    """Shorthand for :class:`JoinSpec`; ``on`` may be a single attribute name."""
+    left_on = (on,) if isinstance(on, str) else tuple(on)
+    if right_on is None:
+        resolved_right = None
+    else:
+        resolved_right = (right_on,) if isinstance(right_on, str) else tuple(right_on)
+    return JoinSpec(left, right, left_on, resolved_right, kind)
+
+
+def validate_view(spec: ViewSpec, catalog: Catalog) -> tuple[str, ...]:
+    """Validate a view against a catalogue and return its projected attributes.
+
+    Raises
+    ------
+    ViewError
+        If the view references unknown relations or attributes.
+    SchemaError
+        If a join or projection is inconsistent with the schemas.
+    """
+    for name in spec.base_relation_names():
+        if name not in catalog:
+            raise ViewError(f"view references unknown base relation {name!r}")
+    try:
+        return spec.projected_attributes(catalog)
+    except SchemaError as exc:  # normalise error type for callers
+        raise ViewError(str(exc)) from exc

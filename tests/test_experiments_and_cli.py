@@ -1,0 +1,155 @@
+"""Tests for the experiment harness, table/figure regeneration and the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets import load_database, view_by_key
+from repro.experiments import (
+    fig3_rows,
+    fig4_rows,
+    fig5_rows,
+    render_csv,
+    render_table,
+    run_full_evaluation,
+    run_view_experiment,
+    summarise,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_catalogs_module():
+    return {db: load_database(db, "tiny") for db in ("pte", "ptc", "mimic3", "tpch")}
+
+
+@pytest.fixture(scope="module")
+def ptc_experiments(tiny_catalogs_module):
+    return run_full_evaluation(
+        "tiny", algorithms=("tane", "hyfd"), databases=["ptc"],
+        catalogs=tiny_catalogs_module, measure_memory=True,
+    )
+
+
+class TestHarness:
+    def test_single_view_experiment(self, tiny_catalogs_module):
+        case = view_by_key("mimic3/patients_admissions")
+        experiment = run_view_experiment(
+            case, tiny_catalogs_module["mimic3"], algorithms=("tane",),
+        )
+        assert experiment.view_rows > 0
+        assert experiment.accuracy.total_accuracy == pytest.approx(1.0)
+        assert experiment.reference_fd_count == experiment.baselines["tane"].fd_count
+        assert experiment.speedup_over("tane") > 0
+
+    def test_full_evaluation_filters_by_database(self, ptc_experiments):
+        assert len(ptc_experiments) == 4
+        assert all(e.case.database == "ptc" for e in ptc_experiments)
+
+    def test_all_baselines_find_the_same_fd_count(self, ptc_experiments):
+        for experiment in ptc_experiments:
+            counts = {m.fd_count for m in experiment.baselines.values()}
+            assert counts == {experiment.reference_fd_count}
+
+    def test_view_filter(self, tiny_catalogs_module):
+        experiments = run_full_evaluation(
+            "tiny", algorithms=("tane",), views=["tpch/q3"], catalogs=tiny_catalogs_module,
+        )
+        assert len(experiments) == 1
+        assert experiments[0].case.key == "tpch/q3"
+
+    def test_memory_measurements_present(self, ptc_experiments):
+        assert all(e.infine_peak_memory_mb > 0 for e in ptc_experiments)
+        assert all(m.peak_memory_mb > 0 for e in ptc_experiments for m in e.baselines.values())
+
+
+class TestTablesAndFigures:
+    def test_table1_covers_all_tables(self, tiny_catalogs_module):
+        rows = table1_rows(catalogs=tiny_catalogs_module)
+        assert len(rows) == sum(len(c) for c in tiny_catalogs_module.values())
+        assert all(row["tuples"] > 0 for row in rows)
+        assert all(row["fd_count"] >= 0 for row in rows)
+
+    def test_table2_covers_sixteen_views(self, tiny_catalogs_module):
+        rows = table2_rows(catalogs=tiny_catalogs_module)
+        assert len(rows) == 16
+        assert all(row["fd_count"] > 0 for row in rows)
+
+    def test_table3_accuracy_columns(self, ptc_experiments):
+        rows = table3_rows(ptc_experiments)
+        for row in rows:
+            total = row["upstageFDs_accuracy"] + row["inferFDs_accuracy"] + row["mineFDs_accuracy"]
+            assert total == pytest.approx(row["total_accuracy"], abs=0.01)
+            assert row["total_accuracy"] == pytest.approx(1.0)
+
+    def test_fig3_contains_speedups(self, ptc_experiments):
+        rows = fig3_rows(ptc_experiments)
+        assert all("speedup_vs_tane" in row for row in rows)
+        assert all(row["infine_s"] >= 0 for row in rows)
+
+    def test_fig4_contains_memory_per_method(self, ptc_experiments):
+        rows = fig4_rows(ptc_experiments)
+        assert all(row["infine_mb"] > 0 for row in rows)
+        assert all(row["tane_mb"] > 0 for row in rows)
+
+    def test_fig5_percentages_sum_to_100(self, ptc_experiments):
+        rows = fig5_rows(ptc_experiments)
+        for row in rows:
+            total = row["upstageFDs_pct"] + row["inferFDs_pct"] + row["mineFDs_pct"]
+            assert total == pytest.approx(100.0, abs=0.5)
+
+
+class TestReportRendering:
+    ROWS = [{"name": "a", "value": 1.5}, {"name": "bb", "value": 200000.0}]
+
+    def test_render_table_alignment(self):
+        text = render_table(self.ROWS, title="demo")
+        assert "demo" in text
+        assert "name" in text and "value" in text
+        assert "bb" in text
+
+    def test_render_table_empty(self):
+        assert "(no rows)" in render_table([])
+
+    def test_render_csv(self):
+        text = render_csv(self.ROWS)
+        assert text.splitlines()[0] == "name,value"
+        assert len(text.splitlines()) == 3
+
+    def test_render_csv_empty(self):
+        assert render_csv([]) == ""
+
+    def test_summarise(self):
+        stats = summarise(self.ROWS, "value")
+        assert stats["min"] == 1.5
+        assert stats["max"] == 200000.0
+
+
+class TestCLI:
+    def test_parser_accepts_all_commands(self):
+        parser = build_parser()
+        for command in ("table1", "table2", "table3", "fig3", "fig4", "fig5", "views", "all"):
+            assert parser.parse_args([command]).command == command
+
+    def test_views_command(self, capsys):
+        assert main(["views"]) == 0
+        output = capsys.readouterr().out
+        assert "tpch/q3" in output
+
+    def test_table1_command_with_scale(self, capsys):
+        assert main(["table1", "--scale", "tiny", "--databases", "pte"]) == 0
+        output = capsys.readouterr().out
+        assert "Table I" in output and "atm" in output
+
+    def test_fig3_command_with_output(self, capsys, tmp_path):
+        assert main([
+            "fig3", "--scale", "tiny", "--databases", "pte", "--views", "pte/active_drug",
+            "--algorithms", "tane", "--output", str(tmp_path),
+        ]) == 0
+        assert (tmp_path / "fig3.csv").exists()
+        assert "Fig. 3" in capsys.readouterr().out
+
+    def test_invalid_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tableX"])

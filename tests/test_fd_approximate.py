@@ -1,0 +1,59 @@
+"""Tests for approximate FDs (the raw material of upstaged FDs)."""
+
+import pytest
+
+from repro.fd import FD, ApproximateFD, approximate_fds, g3_error, holds_approximately
+from repro.fd.approximate import upstageable_fds
+from repro.relational.algebra import equi_join
+from repro.relational.relation import NULL, Relation
+
+
+@pytest.fixture()
+def relation() -> Relation:
+    # flag -> code holds except for one violating row (the last one).
+    return Relation(
+        "r",
+        ("rid", "flag", "code"),
+        [(1, 0, "a"), (2, 0, "a"), (3, 1, "b"), (4, 1, "b"), (5, 1, "c")],
+    )
+
+
+class TestG3:
+    def test_exact_fd_has_zero_error(self, relation):
+        assert g3_error(relation, FD(("rid",), "flag")) == 0.0
+
+    def test_violated_fd_error(self, relation):
+        assert g3_error(relation, FD(("flag",), "code")) == pytest.approx(1 / 5)
+
+    def test_holds_approximately_threshold(self, relation):
+        assert holds_approximately(relation, FD(("flag",), "code"), threshold=0.25)
+        assert not holds_approximately(relation, FD(("flag",), "code"), threshold=0.1)
+
+    def test_approximate_fd_wrapper(self):
+        afd = ApproximateFD(FD(("a",), "b"), 0.05)
+        assert not afd.is_exact()
+        assert afd.is_exact(tolerance=0.1)
+        assert "g3" in str(afd)
+
+
+class TestEnumeration:
+    def test_approximate_fds_exclude_exact(self, relation):
+        results = approximate_fds(relation, threshold=0.3, max_lhs=1)
+        assert all(afd.error > 0 for afd in results)
+        assert any(afd.dependency == FD(("flag",), "code") for afd in results)
+
+    def test_threshold_must_be_positive(self, relation):
+        with pytest.raises(ValueError):
+            approximate_fds(relation, threshold=0.0)
+
+    def test_attribute_restriction(self, relation):
+        results = approximate_fds(relation, threshold=0.5, max_lhs=1, attributes=["flag", "code"])
+        assert all(afd.dependency.attributes <= {"flag", "code"} for afd in results)
+
+    def test_upstageable_fds_found_through_semi_join(self, relation):
+        # The violating row (rid=5) has no counterpart in `other`, so the
+        # AFD flag -> code becomes exact on the reduced instance.
+        other = Relation("other", ("rid", "extra"), [(1, "x"), (2, "x"), (3, "x"), (4, "x")])
+        reduced = equi_join(relation, other, ["rid"])
+        upstaged = list(upstageable_fds(relation, reduced, threshold=0.3, max_lhs=1))
+        assert any(afd.dependency == FD(("flag",), "code") for afd in upstaged)

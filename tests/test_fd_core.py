@@ -1,0 +1,226 @@
+"""Tests for the FD core: canonical FDs, Armstrong reasoning, FD sets."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fd import (
+    FD,
+    FDError,
+    FDSet,
+    attribute_closure,
+    canonical_cover,
+    equivalent,
+    fd,
+    implies,
+    is_minimal,
+    minimise_lhs,
+    project_fds,
+    prune_non_minimal,
+    transitive_fds_through,
+)
+
+
+class TestFD:
+    def test_constructor_from_string_lhs(self):
+        dependency = FD("a", "b")
+        assert dependency.lhs == frozenset({"a"})
+
+    def test_constructor_from_iterable(self):
+        assert FD(["a", "b"], "c").lhs == frozenset({"a", "b"})
+
+    def test_empty_lhs_is_allowed(self):
+        assert FD((), "a").is_constant()
+
+    def test_trivial_fd_rejected(self):
+        with pytest.raises(FDError):
+            FD(("a", "b"), "a")
+
+    def test_empty_rhs_rejected(self):
+        with pytest.raises(FDError):
+            FD(("a",), "")
+
+    def test_attributes(self):
+        assert FD(("a", "b"), "c").attributes == {"a", "b", "c"}
+
+    def test_generalises_and_specialises(self):
+        assert FD(("a",), "c").generalises(FD(("a", "b"), "c"))
+        assert FD(("a", "b"), "c").specialises(FD(("a",), "c"))
+        assert not FD(("a",), "c").generalises(FD(("a",), "d"))
+
+    def test_restricted_to(self):
+        assert FD(("a",), "b").restricted_to(["a", "b"]) is not None
+        assert FD(("a",), "b").restricted_to(["a"]) is None
+
+    def test_str_and_parse_round_trip(self):
+        dependency = FD(("b", "a"), "c")
+        assert FD.parse(str(dependency)) == dependency
+
+    def test_parse_empty_lhs(self):
+        assert FD.parse("∅ -> x") == FD((), "x")
+        assert FD.parse(" -> x") == FD((), "x")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(FDError):
+            FD.parse("no arrow here")
+
+    def test_sort_key_orders_by_rhs_then_size(self):
+        fds = [FD(("x", "y"), "b"), FD(("z",), "a"), FD(("w",), "b")]
+        ordered = sorted(fds, key=FD.sort_key)
+        assert [d.rhs for d in ordered] == ["a", "b", "b"]
+        assert ordered[1].lhs == frozenset({"w"})
+
+    def test_fd_helper(self):
+        assert fd("a", "b") == FD(("a",), "b")
+
+    def test_hashable_and_equal(self):
+        assert FD(("a", "b"), "c") == FD(("b", "a"), "c")
+        assert len({FD(("a",), "b"), FD(("a",), "b")}) == 1
+
+
+FDS = [fd("a", "b"), fd("b", "c"), fd(("c", "d"), "e")]
+
+
+class TestClosureAndImplication:
+    def test_attribute_closure_transitive(self):
+        assert attribute_closure({"a"}, FDS) == {"a", "b", "c"}
+
+    def test_attribute_closure_with_composite(self):
+        assert "e" in attribute_closure({"a", "d"}, FDS)
+
+    def test_implies_true_and_false(self):
+        assert implies(FDS, fd("a", "c"))
+        assert not implies(FDS, fd("a", "e"))
+
+    def test_equivalent_sets(self):
+        first = [fd("a", "b"), fd("b", "c")]
+        second = [fd("a", "b"), fd("b", "c"), fd("a", "c")]
+        assert equivalent(first, second)
+        assert not equivalent(first, [fd("a", "b")])
+
+    def test_is_minimal(self):
+        assert is_minimal(fd("a", "c"), FDS)
+        assert not is_minimal(fd(("a", "b"), "c"), FDS)
+
+    def test_minimise_lhs(self):
+        assert minimise_lhs(fd(("a", "b"), "c"), FDS) == fd("b", "c") or \
+               minimise_lhs(fd(("a", "b"), "c"), FDS).lhs < {"a", "b"}
+
+    def test_canonical_cover_removes_redundancy(self):
+        cover = canonical_cover([fd("a", "b"), fd("b", "c"), fd("a", "c")])
+        assert fd("a", "c") not in cover
+        assert equivalent(cover, [fd("a", "b"), fd("b", "c"), fd("a", "c")])
+
+    def test_prune_non_minimal(self):
+        candidates = [fd(("a", "x"), "b"), fd("x", "y")]
+        assert prune_non_minimal(candidates, [fd("a", "b")]) == [fd("x", "y")]
+
+    def test_project_fds_keeps_transitive_dependency(self):
+        projected = project_fds([fd("a", "b"), fd("b", "c")], ["a", "c"])
+        assert fd("a", "c") in projected
+        assert all(d.attributes <= {"a", "c"} for d in projected)
+
+    def test_transitive_fds_through_join_attributes(self):
+        left = [fd("name", "k")]
+        right = [fd("k", "city")]
+        inferred = transitive_fds_through(left, right, ["k"], ["k"])
+        assert fd("name", "city") in inferred
+
+    def test_transitive_fds_require_join_coverage(self):
+        left = [fd("name", "other")]
+        right = [fd("k", "city")]
+        assert fd("name", "city") not in transitive_fds_through(left, right, ["k"], ["k"])
+
+
+class TestFDSet:
+    def test_container_protocol(self):
+        fdset = FDSet([fd("a", "b"), fd("b", "c")])
+        assert len(fdset) == 2
+        assert fd("a", "b") in fdset
+        assert [d.rhs for d in fdset] == ["b", "c"]
+
+    def test_set_operations(self):
+        first = FDSet([fd("a", "b")])
+        second = FDSet([fd("b", "c")])
+        assert len(first | second) == 2
+        assert len(first & second) == 0
+        assert len((first | second) - second) == 1
+
+    def test_add_update_discard(self):
+        fdset = FDSet()
+        fdset.add(fd("a", "b"))
+        fdset.update([fd("b", "c")])
+        fdset.discard(fd("a", "b"))
+        assert fdset.as_list() == [fd("b", "c")]
+
+    def test_attributes_and_with_rhs(self):
+        fdset = FDSet([fd("a", "b"), fd(("a", "c"), "b")])
+        assert fdset.attributes() == {"a", "b", "c"}
+        assert len(fdset.with_rhs("b")) == 2
+
+    def test_closure_and_implies(self):
+        fdset = FDSet([fd("a", "b"), fd("b", "c")])
+        assert fdset.closure_of({"a"}) == {"a", "b", "c"}
+        assert fdset.implies(fd("a", "c"))
+
+    def test_restrict_to(self):
+        fdset = FDSet([fd("a", "b"), fd("c", "d")])
+        assert fdset.restrict_to(["a", "b"]).as_list() == [fd("a", "b")]
+
+    def test_minimal_only(self):
+        fdset = FDSet([fd("a", "c"), fd(("a", "b"), "c")])
+        assert fdset.minimal_only().as_list() == [fd("a", "c")]
+
+    def test_canonical(self):
+        fdset = FDSet([fd("a", "b"), fd("b", "c"), fd("a", "c")])
+        assert fdset.canonical().is_equivalent_to(fdset)
+        assert len(fdset.canonical()) == 2
+
+    def test_keys_of(self):
+        fdset = FDSet([fd("a", "b"), fd("b", "c")])
+        keys = fdset.keys_of(["a", "b", "c"])
+        assert frozenset({"a"}) in keys
+
+    def test_difference_report(self):
+        mine = FDSet([fd("a", "b"), fd("a", "c"), fd("x", "y")])
+        other = FDSet([fd("a", "b"), fd("b", "c")])
+        report = mine.difference_report(other)
+        assert report["shared"] == [fd("a", "b")]
+        assert report["implied"] == [fd("a", "c")]
+        assert report["new"] == [fd("x", "y")]
+
+    def test_equality_with_plain_sets(self):
+        assert FDSet([fd("a", "b")]) == {fd("a", "b")}
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sets(st.sampled_from("abcd"), max_size=3),
+            st.sampled_from("abcd"),
+        ),
+        max_size=8,
+    )
+)
+def test_closure_is_monotone_and_idempotent(raw):
+    fds = [FD(lhs, rhs) for lhs, rhs in raw if rhs not in lhs]
+    closure = attribute_closure({"a"}, fds)
+    assert {"a"} <= closure
+    assert attribute_closure(closure, fds) == closure
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sets(st.sampled_from("abcd"), max_size=2),
+            st.sampled_from("abcd"),
+        ),
+        max_size=6,
+    )
+)
+def test_canonical_cover_is_equivalent_to_input(raw):
+    fds = [FD(lhs, rhs) for lhs, rhs in raw if rhs not in lhs]
+    cover = canonical_cover(fds)
+    assert equivalent(cover, fds)

@@ -1,0 +1,141 @@
+"""Tests for coverage, accuracy and profiling metrics."""
+
+import pytest
+
+from repro.fd import FD, FDSet, fd
+from repro.infine import FDType, InFine, StraightforwardPipeline
+from repro.metrics import (
+    BREAKDOWN_STEPS,
+    accuracy_breakdown,
+    join_coverage,
+    paper_step_of,
+    profile_call,
+    repeat_profile,
+    self_breakdown,
+    side_coverage,
+    view_coverage,
+)
+from repro.relational.relation import NULL, Relation
+from repro.relational.view import base, join, proj
+
+
+class TestCoverage:
+    def test_one_to_one_join_has_coverage_one(self):
+        left = Relation("L", ("k", "a"), [(1, "x"), (2, "y")])
+        right = Relation("R", ("k", "b"), [(1, "p"), (2, "q")])
+        assert join_coverage(left, right, ["k"]) == pytest.approx(1.0)
+
+    def test_no_matching_tuples_is_zero(self):
+        left = Relation("L", ("k",), [(1,), (2,)])
+        right = Relation("R", ("k",), [(3,)])
+        assert join_coverage(left, right, ["k"]) == pytest.approx(0.0)
+
+    def test_repeating_join_raises_coverage_above_one(self):
+        left = Relation("L", ("k",), [(1,)])
+        right = Relation("R", ("k", "b"), [(1, "a"), (1, "b"), (1, "c")])
+        assert join_coverage(left, right, ["k"]) > 1.0
+
+    def test_dangling_tuples_lower_coverage(self):
+        left = Relation("L", ("k",), [(1,), (2,), (3,), (4,)])
+        right = Relation("R", ("k",), [(1,), (2,)])
+        assert join_coverage(left, right, ["k"]) < 1.0
+
+    def test_null_keys_are_ignored(self):
+        left = Relation("L", ("k",), [(1,), (NULL,)])
+        right = Relation("R", ("k",), [(1,)])
+        assert join_coverage(left, right, ["k"]) == pytest.approx(1.0)
+
+    def test_side_coverage_empty(self):
+        from collections import Counter
+
+        assert side_coverage(Counter(), Counter()) == 0.0
+
+    def test_view_coverage_uses_outermost_join(self):
+        catalog = {
+            "A": Relation("A", ("k", "a"), [(1, "x"), (2, "y")]),
+            "B": Relation("B", ("k", "m"), [(1, 10), (2, 20)]),
+            "C": Relation("C", ("m", "c"), [(10, "p")]),
+        }
+        view = join(join(base("A"), base("B"), on="k"), base("C"), on="m")
+        assert view_coverage(view, catalog) < 1.0
+
+    def test_view_without_join_has_coverage_one(self):
+        catalog = {"A": Relation("A", ("a",), [(1,)])}
+        assert view_coverage(proj(base("A"), ["a"]), catalog) == 1.0
+
+
+class TestAccuracy:
+    @pytest.fixture()
+    def run_and_reference(self, clinical_catalog):
+        view = join(base("patient"), base("admission"), on="subject_id")
+        result = InFine().run(view, clinical_catalog)
+        reference = StraightforwardPipeline("tane").run(view, clinical_catalog).fds
+        return result, reference
+
+    def test_total_accuracy_is_one(self, run_and_reference):
+        result, reference = run_and_reference
+        breakdown = accuracy_breakdown(result, reference)
+        assert breakdown.total_accuracy == pytest.approx(1.0)
+        assert breakdown.missing == []
+
+    def test_step_accuracies_sum_to_total(self, run_and_reference):
+        result, reference = run_and_reference
+        breakdown = accuracy_breakdown(result, reference)
+        total = sum(breakdown.step_accuracy(step) for step in BREAKDOWN_STEPS)
+        assert total == pytest.approx(breakdown.total_accuracy)
+
+    def test_as_dict_contains_all_steps(self, run_and_reference):
+        result, reference = run_and_reference
+        as_dict = accuracy_breakdown(result, reference).as_dict()
+        for step in BREAKDOWN_STEPS:
+            assert f"{step}_accuracy" in as_dict
+        assert as_dict["fd_count"] > 0
+
+    def test_missing_fds_are_reported(self, run_and_reference):
+        result, _ = run_and_reference
+        fabricated = FDSet([fd("gender", "admittime")])
+        breakdown = accuracy_breakdown(result, fabricated)
+        assert breakdown.total_accuracy < 1.0
+        assert fabricated.as_list()[0] in breakdown.missing
+
+    def test_empty_reference(self, run_and_reference):
+        result, _ = run_and_reference
+        breakdown = accuracy_breakdown(result, FDSet())
+        assert breakdown.total_accuracy == 1.0
+
+    def test_paper_step_mapping(self):
+        assert paper_step_of(FDType.BASE) == "upstageFDs"
+        assert paper_step_of(FDType.UPSTAGED_LEFT) == "upstageFDs"
+        assert paper_step_of(FDType.INFERRED) == "inferFDs"
+        assert paper_step_of(FDType.JOIN) == "mineFDs"
+
+    def test_self_breakdown_fractions_sum_to_one(self, run_and_reference):
+        result, _ = run_and_reference
+        fractions = self_breakdown(result)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+
+class TestProfiling:
+    def test_profile_call_returns_value_and_time(self):
+        profile = profile_call(sum, [1, 2, 3])
+        assert profile.value == 6
+        assert profile.seconds >= 0
+        assert profile.peak_memory_bytes >= 0
+        assert profile.peak_memory_mb == profile.peak_memory_bytes / (1024 * 1024)
+
+    def test_profile_call_without_memory_tracing(self):
+        profile = profile_call(sorted, list(range(100)), trace_memory=False)
+        assert profile.peak_memory_bytes == 0
+
+    def test_profile_detects_allocation(self):
+        profile = profile_call(lambda: [0] * 200_000)
+        assert profile.peak_memory_bytes > 100_000
+
+    def test_repeat_profile(self):
+        profile, mean_seconds = repeat_profile(lambda: sum(range(1000)), repeats=3)
+        assert profile.value == sum(range(1000))
+        assert mean_seconds >= 0
+
+    def test_repeat_profile_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            repeat_profile(lambda: None, repeats=0)

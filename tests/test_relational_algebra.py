@@ -1,0 +1,163 @@
+"""Tests for :mod:`repro.relational.algebra` (the SPJ operator set)."""
+
+import pytest
+
+from repro.relational.algebra import (
+    JoinKind,
+    cartesian_product,
+    equi_join,
+    project,
+    rename,
+    select,
+    union,
+)
+from repro.relational.predicates import eq, gt
+from repro.relational.relation import NULL, Relation
+from repro.relational.schema import SchemaError
+
+
+@pytest.fixture()
+def left() -> Relation:
+    return Relation("L", ("k", "a"), [(1, "x"), (2, "y"), (3, "z"), (None, "n")])
+
+
+@pytest.fixture()
+def right() -> Relation:
+    return Relation("R", ("k", "b"), [(1, 10), (1, 11), (2, 20), (4, 40), (None, 0)])
+
+
+class TestProjectSelectRename:
+    def test_project_keeps_duplicates(self, left):
+        projected = project(left, ["a"])
+        assert len(projected) == 4
+
+    def test_project_reorders(self, left):
+        assert project(left, ["a", "k"]).attribute_names == ("a", "k")
+
+    def test_project_unknown_attribute(self, left):
+        with pytest.raises(SchemaError):
+            project(left, ["nope"])
+
+    def test_select_filters(self, left):
+        assert len(select(left, gt("k", 1))) == 2
+
+    def test_select_unknown_attribute(self, left):
+        with pytest.raises(SchemaError):
+            select(left, eq("zz", 1))
+
+    def test_rename(self, left):
+        renamed = rename(left, {"k": "key"})
+        assert renamed.attribute_names == ("key", "a")
+        assert renamed.rows == left.rows
+
+    def test_union(self, left):
+        doubled = union(left, left)
+        assert len(doubled) == 2 * len(left)
+
+    def test_union_schema_mismatch(self, left, right):
+        with pytest.raises(SchemaError):
+            union(left, right)
+
+    def test_cartesian_product(self):
+        first = Relation("A", ("a",), [(1,), (2,)])
+        second = Relation("B", ("b",), [("x",)])
+        product = cartesian_product(first, second)
+        assert len(product) == 2
+        assert product.attribute_names == ("a", "b")
+
+    def test_cartesian_product_requires_disjoint(self, left):
+        with pytest.raises(SchemaError):
+            cartesian_product(left, left)
+
+
+class TestInnerJoin:
+    def test_matching_rows(self, left, right):
+        joined = equi_join(left, right, ["k"])
+        assert len(joined) == 3  # k=1 matches twice, k=2 once
+        assert joined.attribute_names == ("k", "a", "b")
+
+    def test_null_keys_never_match(self, left, right):
+        joined = equi_join(left, right, ["k"])
+        assert all(row[0] is not NULL for row in joined.rows)
+
+    def test_same_name_join_column_appears_once(self, left, right):
+        assert equi_join(left, right, ["k"]).attribute_names.count("k") == 1
+
+    def test_different_name_join_keeps_both_columns(self):
+        orders = Relation("O", ("order_ref", "total"), [(1, 10.0), (9, 1.0)])
+        customers = Relation("C", ("cust_id", "name"), [(1, "ada")])
+        joined = equi_join(orders, customers, ["order_ref"], ["cust_id"])
+        assert set(joined.attribute_names) == {"order_ref", "total", "cust_id", "name"}
+        assert joined.rows == ((1, 10.0, 1, "ada"),)
+
+    def test_multi_attribute_join(self):
+        first = Relation("A", ("x", "y", "v"), [(1, 1, "a"), (1, 2, "b")])
+        second = Relation("B", ("x", "y", "w"), [(1, 1, "c"), (2, 2, "d")])
+        joined = equi_join(first, second, ["x", "y"])
+        assert joined.rows == ((1, 1, "a", "c"),)
+
+    def test_key_arity_mismatch(self, left, right):
+        with pytest.raises(SchemaError):
+            equi_join(left, right, ["k"], ["k", "b"])
+
+    def test_missing_join_attribute(self, left, right):
+        with pytest.raises(SchemaError):
+            equi_join(left, right, ["nope"])
+
+    def test_empty_join_key_list(self, left, right):
+        with pytest.raises(SchemaError):
+            equi_join(left, right, [])
+
+    def test_non_join_collision_rejected(self):
+        first = Relation("A", ("k", "dup"), [(1, 1)])
+        second = Relation("B", ("k", "dup"), [(1, 2)])
+        with pytest.raises(SchemaError):
+            equi_join(first, second, ["k"])
+
+
+class TestOuterJoins:
+    def test_left_outer_pads_missing(self, left, right):
+        joined = equi_join(left, right, ["k"], kind=JoinKind.LEFT_OUTER)
+        padded = [row for row in joined.rows if row[2] is NULL]
+        # k=3 has no match; the NULL-key row also has no match.
+        assert len(padded) == 2
+        assert len(joined) == 5
+
+    def test_right_outer_pads_missing(self, left, right):
+        joined = equi_join(left, right, ["k"], kind=JoinKind.RIGHT_OUTER)
+        assert len(joined) == 5  # 3 matches + unmatched k=4 and NULL-key row
+        unmatched = [row for row in joined.rows if row[1] is NULL]
+        assert any(row[0] == 4 for row in unmatched)
+
+    def test_right_outer_backfills_shared_join_column(self, left, right):
+        joined = equi_join(left, right, ["k"], kind=JoinKind.RIGHT_OUTER)
+        row_for_4 = next(row for row in joined.rows if row[2] == 40)
+        assert row_for_4[0] == 4  # the shared column takes the right side's value
+
+    def test_full_outer_contains_both_paddings(self, left, right):
+        joined = equi_join(left, right, ["k"], kind=JoinKind.FULL_OUTER)
+        assert len(joined) == 7
+
+    def test_semi_joins(self, left, right):
+        left_semi = equi_join(left, right, ["k"], kind=JoinKind.LEFT_SEMI)
+        right_semi = equi_join(left, right, ["k"], kind=JoinKind.RIGHT_SEMI)
+        assert left_semi.attribute_names == left.attribute_names
+        assert sorted(row[0] for row in left_semi.rows) == [1, 2]
+        assert right_semi.attribute_names == right.attribute_names
+        assert sorted(row[0] for row in right_semi.rows) == [1, 1, 2]
+
+    def test_join_kind_symbols(self):
+        assert JoinKind.INNER.symbol == "JOIN"
+        assert JoinKind.LEFT_SEMI.is_semi
+        assert not JoinKind.INNER.is_semi
+
+
+class TestJoinAgainstReference:
+    def test_inner_join_matches_nested_loop_semantics(self, left, right):
+        joined = equi_join(left, right, ["k"])
+        expected = []
+        for lrow in left.rows:
+            for rrow in right.rows:
+                if lrow[0] is not None and lrow[0] == rrow[0]:
+                    expected.append(lrow + rrow[1:])
+        assert sorted(joined.rows) == sorted(expected)

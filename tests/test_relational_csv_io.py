@@ -1,0 +1,77 @@
+"""Tests for CSV import/export of relations."""
+
+import pytest
+
+from repro.relational.csv_io import load_catalog, load_csv, save_catalog, save_csv, schema_from_types
+from repro.relational.relation import NULL, Relation
+
+
+@pytest.fixture()
+def relation() -> Relation:
+    return Relation("people", ("pid", "name", "score"), [(1, "ada", 3.5), (2, "bob", NULL)])
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, relation, tmp_path):
+        path = save_csv(relation, tmp_path / "people.csv")
+        loaded = load_csv(path)
+        assert loaded.name == "people"
+        assert loaded.attribute_names == relation.attribute_names
+        assert loaded.rows[0] == (1, "ada", 3.5)
+
+    def test_null_round_trip(self, relation, tmp_path):
+        loaded = load_csv(save_csv(relation, tmp_path / "p.csv"))
+        assert loaded.rows[1][2] is NULL
+
+    def test_type_inference_can_be_disabled(self, relation, tmp_path):
+        path = save_csv(relation, tmp_path / "p.csv")
+        loaded = load_csv(path, infer_types=False)
+        assert loaded.rows[0][0] == "1"
+
+    def test_explicit_schema_parsing(self, relation, tmp_path):
+        path = save_csv(relation, tmp_path / "p.csv")
+        schema = schema_from_types(["pid", "name", "score"], ["integer", "string", "float"])
+        loaded = load_csv(path, schema=schema)
+        assert loaded.rows[0] == (1, "ada", 3.5)
+
+    def test_schema_header_mismatch(self, relation, tmp_path):
+        path = save_csv(relation, tmp_path / "p.csv")
+        schema = schema_from_types(["x", "y", "z"], ["string", "string", "string"])
+        with pytest.raises(ValueError):
+            load_csv(path, schema=schema)
+
+    def test_empty_file_rejected(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        with pytest.raises(ValueError):
+            load_csv(empty)
+
+    def test_custom_name(self, relation, tmp_path):
+        path = save_csv(relation, tmp_path / "p.csv")
+        assert load_csv(path, name="other").name == "other"
+
+
+class TestCatalogIO:
+    def test_save_and_load_catalog(self, relation, tmp_path):
+        catalog = {"people": relation, "copy": relation.with_name("copy")}
+        paths = save_catalog(catalog, tmp_path / "db")
+        assert len(paths) == 2
+        loaded = load_catalog(tmp_path / "db")
+        assert set(loaded) == {"people", "copy"}
+        assert len(loaded["people"]) == 2
+
+    def test_load_catalog_by_names(self, relation, tmp_path):
+        save_catalog({"people": relation}, tmp_path)
+        loaded = load_catalog(tmp_path, names=["people"])
+        assert list(loaded) == ["people"]
+
+    def test_boolean_parsing(self, tmp_path):
+        path = tmp_path / "flags.csv"
+        path.write_text("fid,flag\n1,true\n2,no\n")
+        schema = schema_from_types(["fid", "flag"], ["integer", "boolean"])
+        loaded = load_csv(path, schema=schema)
+        assert loaded.rows == ((1, True), (2, False))
+
+    def test_schema_from_types_length_mismatch(self):
+        with pytest.raises(ValueError):
+            schema_from_types(["a"], ["integer", "string"])

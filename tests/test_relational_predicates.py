@@ -1,0 +1,130 @@
+"""Tests for :mod:`repro.relational.predicates`."""
+
+import pytest
+
+from repro.relational.predicates import (
+    And,
+    AttributeComparison,
+    Comparison,
+    InSet,
+    IsNull,
+    Not,
+    Or,
+    PredicateError,
+    TruePredicate,
+    conjunction,
+    eq,
+    ge,
+    gt,
+    le,
+    lt,
+    ne,
+)
+
+ROW = {"a": 5, "b": "x", "c": None}
+
+
+class TestComparison:
+    def test_eq(self):
+        assert eq("a", 5).evaluate(ROW)
+        assert not eq("a", 6).evaluate(ROW)
+
+    def test_ne(self):
+        assert ne("a", 6).evaluate(ROW)
+
+    def test_orderings(self):
+        assert lt("a", 6).evaluate(ROW)
+        assert le("a", 5).evaluate(ROW)
+        assert gt("a", 4).evaluate(ROW)
+        assert ge("a", 5).evaluate(ROW)
+
+    def test_null_never_satisfies_ordering(self):
+        assert not gt("c", 1).evaluate(ROW)
+
+    def test_null_equality_with_none(self):
+        assert eq("c", None).evaluate(ROW)
+        assert not eq("a", None).evaluate(ROW)
+
+    def test_null_inequality(self):
+        assert ne("c", 1).evaluate(ROW)
+
+    def test_incomparable_types_are_false(self):
+        assert not gt("b", 3).evaluate(ROW)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(PredicateError):
+            Comparison("a", "~", 1)
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(PredicateError):
+            eq("z", 1).evaluate(ROW)
+
+    def test_attributes_and_describe(self):
+        predicate = eq("a", 5)
+        assert predicate.attributes() == {"a"}
+        assert "a == 5" in predicate.describe()
+
+
+class TestAttributeComparison:
+    def test_compare_two_attributes(self):
+        assert AttributeComparison("a", ">", "a").evaluate(ROW) is False
+        assert AttributeComparison("a", "==", "a").evaluate(ROW)
+
+    def test_null_handling(self):
+        assert AttributeComparison("c", "==", "c").evaluate(ROW)
+        assert not AttributeComparison("a", "==", "c").evaluate(ROW)
+
+    def test_unknown_operator(self):
+        with pytest.raises(PredicateError):
+            AttributeComparison("a", "!", "b")
+
+    def test_attributes(self):
+        assert AttributeComparison("a", "<", "b").attributes() == {"a", "b"}
+
+
+class TestCompositePredicates:
+    def test_and(self):
+        assert (eq("a", 5) & eq("b", "x")).evaluate(ROW)
+        assert not (eq("a", 5) & eq("b", "y")).evaluate(ROW)
+
+    def test_or(self):
+        assert (eq("a", 0) | eq("b", "x")).evaluate(ROW)
+
+    def test_not(self):
+        assert (~eq("a", 0)).evaluate(ROW)
+
+    def test_attributes_union(self):
+        predicate = And(eq("a", 1), Or(eq("b", 2), Not(eq("c", 3))))
+        assert predicate.attributes() == {"a", "b", "c"}
+
+    def test_describe_nested(self):
+        text = (eq("a", 1) & ~eq("b", 2)).describe()
+        assert "AND" in text and "NOT" in text
+
+    def test_true_predicate(self):
+        assert TruePredicate().evaluate({})
+        assert TruePredicate().attributes() == frozenset()
+
+    def test_conjunction_of_none_is_true(self):
+        assert conjunction([]).evaluate(ROW)
+
+    def test_conjunction_combines(self):
+        assert conjunction([eq("a", 5), eq("b", "x")]).evaluate(ROW)
+        assert not conjunction([eq("a", 5), eq("b", "y")]).evaluate(ROW)
+
+
+class TestInSetAndIsNull:
+    def test_in_set(self):
+        assert InSet("a", {4, 5}).evaluate(ROW)
+        assert not InSet("a", {1}).evaluate(ROW)
+
+    def test_in_set_describe(self):
+        assert "IN" in InSet("a", {1, 2}).describe()
+
+    def test_is_null(self):
+        assert IsNull("c").evaluate(ROW)
+        assert not IsNull("a").evaluate(ROW)
+
+    def test_is_not_null(self):
+        assert IsNull("a", negated=True).evaluate(ROW)
+        assert "NOT" in IsNull("a", negated=True).describe()

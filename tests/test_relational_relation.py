@@ -1,0 +1,139 @@
+"""Tests for :mod:`repro.relational.relation`."""
+
+import pytest
+
+from repro.relational.relation import NULL, Relation, RelationError, validate_same_schema
+from repro.relational.schema import SchemaError
+
+
+@pytest.fixture()
+def small() -> Relation:
+    return Relation("r", ("a", "b", "c"), [(1, "x", None), (2, "y", 5), (1, "x", None)])
+
+
+class TestConstruction:
+    def test_row_width_checked(self):
+        with pytest.raises(RelationError):
+            Relation("r", ("a", "b"), [(1,)])
+
+    def test_from_dicts(self):
+        relation = Relation.from_dicts("r", [{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        assert relation.attribute_names == ("a", "b")
+        assert relation.rows == ((1, 2), (3, 4))
+
+    def test_from_dicts_missing_key_raises(self):
+        with pytest.raises(RelationError):
+            Relation.from_dicts("r", [{"a": 1}], schema=["a", "b"])
+
+    def test_from_dicts_empty_without_schema_raises(self):
+        with pytest.raises(RelationError):
+            Relation.from_dicts("r", [])
+
+    def test_from_columns(self):
+        relation = Relation.from_columns("r", {"a": [1, 2], "b": ["x", "y"]})
+        assert relation.rows == ((1, "x"), (2, "y"))
+
+    def test_from_columns_inconsistent_lengths(self):
+        with pytest.raises(RelationError):
+            Relation.from_columns("r", {"a": [1], "b": [1, 2]})
+
+    def test_from_columns_empty_raises(self):
+        with pytest.raises(RelationError):
+            Relation.from_columns("r", {})
+
+    def test_empty_constructor(self):
+        relation = Relation.empty("r", ("a", "b"))
+        assert relation.is_empty()
+        assert relation.arity == 2
+
+
+class TestAccessors:
+    def test_len_and_iter(self, small):
+        assert len(small) == 3
+        assert list(small)[0] == (1, "x", None)
+
+    def test_column(self, small):
+        assert small.column("a") == [1, 2, 1]
+
+    def test_columns(self, small):
+        assert small.columns(["b", "a"]) == [("x", 1), ("y", 2), ("x", 1)]
+
+    def test_row_dicts(self, small):
+        first = next(small.row_dicts())
+        assert first == {"a": 1, "b": "x", "c": None}
+
+    def test_distinct_count_single(self, small):
+        assert small.distinct_count("a") == 2
+
+    def test_distinct_count_combination(self, small):
+        assert small.distinct_count(["a", "b"]) == 2
+
+    def test_distinct_count_empty_attributes(self, small):
+        assert small.distinct_count([]) == 1
+
+    def test_value_index_caches(self, small):
+        index = small.value_index("a")
+        assert index[1] == [0, 2]
+        assert small.value_index("a") is index
+
+    def test_multi_value_index(self, small):
+        index = small.multi_value_index(["a", "b"])
+        assert index[(1, "x")] == [0, 2]
+
+
+class TestDerivations:
+    def test_with_name(self, small):
+        assert small.with_name("other").name == "other"
+
+    def test_with_rows(self, small):
+        derived = small.with_rows([(9, "z", 0)])
+        assert len(derived) == 1
+
+    def test_take(self, small):
+        assert small.take([2, 0]).rows == ((1, "x", None), (1, "x", None))
+
+    def test_head(self, small):
+        assert len(small.head(2)) == 2
+
+    def test_distinct(self, small):
+        assert len(small.distinct()) == 2
+
+    def test_map_column(self, small):
+        mapped = small.map_column("a", lambda v: v * 10)
+        assert mapped.column("a") == [10, 20, 10]
+
+    def test_sorted_rows_handles_null(self, small):
+        ordered = small.sorted_rows()
+        assert len(ordered) == 3
+
+
+class TestEqualityAndDisplay:
+    def test_bag_equality_ignores_order(self):
+        first = Relation("r", ("a",), [(1,), (2,)])
+        second = Relation("r2", ("a",), [(2,), (1,)])
+        assert first == second
+
+    def test_bag_equality_respects_multiplicity(self):
+        first = Relation("r", ("a",), [(1,), (1,)])
+        second = Relation("r", ("a",), [(1,)])
+        assert first != second
+
+    def test_equality_requires_same_attributes(self):
+        assert Relation("r", ("a",), [(1,)]) != Relation("r", ("b",), [(1,)])
+
+    def test_to_text_contains_values_and_null(self, small):
+        text = small.to_text()
+        assert "NULL" in text
+        assert "a" in text and "b" in text
+
+    def test_to_text_truncates(self):
+        relation = Relation("r", ("a",), [(i,) for i in range(30)])
+        assert "more rows" in relation.to_text(limit=5)
+
+    def test_validate_same_schema(self, small):
+        validate_same_schema(small, small.with_name("copy"))
+        with pytest.raises(SchemaError):
+            validate_same_schema(small, Relation("s", ("x",), [(1,)]))
+
+    def test_null_constant_is_none(self):
+        assert NULL is None

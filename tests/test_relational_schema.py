@@ -1,0 +1,120 @@
+"""Tests for :mod:`repro.relational.schema`."""
+
+import pytest
+
+from repro.relational.schema import Attribute, RelationSchema, SchemaError, make_schema
+
+
+class TestAttribute:
+    def test_default_type_is_string(self):
+        assert Attribute("name").dtype == "string"
+
+    def test_explicit_type(self):
+        assert Attribute("age", "integer").dtype == "integer"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", "decimal")
+
+    def test_renamed_keeps_type(self):
+        renamed = Attribute("a", "integer").renamed("b")
+        assert renamed.name == "b"
+        assert renamed.dtype == "integer"
+
+    def test_equality_ignores_type(self):
+        assert Attribute("a", "integer") == Attribute("a", "string")
+
+    def test_str(self):
+        assert str(Attribute("city")) == "city"
+
+
+class TestRelationSchema:
+    def test_from_strings(self):
+        schema = RelationSchema(["a", "b"])
+        assert schema.names == ("a", "b")
+
+    def test_from_attributes(self):
+        schema = RelationSchema([Attribute("a", "integer"), Attribute("b")])
+        assert schema["a"].dtype == "integer"
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(SchemaError):
+            RelationSchema(["a", "b", "a"])
+
+    def test_rejects_non_attribute(self):
+        with pytest.raises(SchemaError):
+            RelationSchema([42])
+
+    def test_len_and_iter(self):
+        schema = RelationSchema(["a", "b", "c"])
+        assert len(schema) == 3
+        assert [attribute.name for attribute in schema] == ["a", "b", "c"]
+
+    def test_contains_by_name_and_attribute(self):
+        schema = RelationSchema(["a", "b"])
+        assert "a" in schema
+        assert Attribute("b") in schema
+        assert "z" not in schema
+
+    def test_getitem_by_index_and_name(self):
+        schema = RelationSchema(["a", "b"])
+        assert schema[1].name == "b"
+        assert schema["a"].name == "a"
+
+    def test_getitem_unknown_name_raises(self):
+        with pytest.raises(SchemaError):
+            RelationSchema(["a"])["z"]
+
+    def test_index_of(self):
+        schema = RelationSchema(["a", "b", "c"])
+        assert schema.index_of("c") == 2
+
+    def test_index_of_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            RelationSchema(["a"]).index_of("b")
+
+    def test_indexes_of(self):
+        schema = RelationSchema(["a", "b", "c"])
+        assert schema.indexes_of(["c", "a"]) == (2, 0)
+
+    def test_project_preserves_order_given(self):
+        schema = RelationSchema(["a", "b", "c"]).project(["c", "a"])
+        assert schema.names == ("c", "a")
+
+    def test_drop(self):
+        schema = RelationSchema(["a", "b", "c"]).drop(["b"])
+        assert schema.names == ("a", "c")
+
+    def test_drop_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            RelationSchema(["a"]).drop(["z"])
+
+    def test_concat(self):
+        schema = RelationSchema(["a"]).concat(RelationSchema(["b"]))
+        assert schema.names == ("a", "b")
+
+    def test_concat_collision_raises(self):
+        with pytest.raises(SchemaError):
+            RelationSchema(["a"]).concat(RelationSchema(["a"]))
+
+    def test_renamed(self):
+        schema = RelationSchema(["a", "b"]).renamed({"a": "x"})
+        assert schema.names == ("x", "b")
+
+    def test_renamed_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            RelationSchema(["a"]).renamed({"z": "y"})
+
+    def test_equality_and_hash(self):
+        assert RelationSchema(["a", "b"]) == RelationSchema(["a", "b"])
+        assert hash(RelationSchema(["a"])) == hash(RelationSchema(["a"]))
+        assert RelationSchema(["a", "b"]) != RelationSchema(["b", "a"])
+
+    def test_make_schema_helper(self):
+        schema = make_schema("a", "b", dtypes={"a": "integer"})
+        assert schema["a"].dtype == "integer"
+        assert schema["b"].dtype == "string"

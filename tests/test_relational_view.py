@@ -1,0 +1,112 @@
+"""Tests for SPJ view specifications."""
+
+import pytest
+
+from repro.relational.algebra import JoinKind
+from repro.relational.predicates import gt
+from repro.relational.relation import Relation
+from repro.relational.view import (
+    BaseRelationSpec,
+    JoinSpec,
+    ProjectSpec,
+    SelectSpec,
+    ViewError,
+    base,
+    join,
+    proj,
+    sel,
+    validate_view,
+)
+
+
+@pytest.fixture()
+def catalog():
+    return {
+        "L": Relation("L", ("k", "a"), [(1, 10), (2, 20), (3, 30)]),
+        "R": Relation("R", ("k", "b"), [(1, "x"), (2, "y")]),
+    }
+
+
+class TestBaseAndProjectSelect:
+    def test_base_projected_attributes(self, catalog):
+        assert base("L").projected_attributes(catalog) == ("k", "a")
+
+    def test_base_unknown_relation(self, catalog):
+        with pytest.raises(ViewError):
+            base("missing").evaluate(catalog)
+
+    def test_project_restricts_attributes(self, catalog):
+        view = proj(base("L"), ["a"])
+        assert view.projected_attributes(catalog) == ("a",)
+        assert view.evaluate(catalog).attribute_names == ("a",)
+
+    def test_project_unknown_attribute(self, catalog):
+        with pytest.raises(ViewError):
+            proj(base("L"), ["zz"]).projected_attributes(catalog)
+
+    def test_project_requires_attributes(self):
+        with pytest.raises(ViewError):
+            ProjectSpec(base("L"), [])
+
+    def test_select_keeps_attributes(self, catalog):
+        view = sel(base("L"), gt("a", 15))
+        assert view.projected_attributes(catalog) == ("k", "a")
+        assert len(view.evaluate(catalog)) == 2
+
+    def test_describe_strings(self, catalog):
+        view = sel(proj(base("L"), ["a"]), gt("a", 15))
+        described = view.describe()
+        assert "SELECT" in described and "PROJECT" in described and "L" in described
+
+
+class TestJoinSpec:
+    def test_same_name_join_attributes(self, catalog):
+        view = join(base("L"), base("R"), on="k")
+        assert view.projected_attributes(catalog) == ("k", "a", "b")
+        assert len(view.evaluate(catalog)) == 2
+
+    def test_semi_join_projects_single_side(self, catalog):
+        view = join(base("L"), base("R"), on="k", kind=JoinKind.LEFT_SEMI)
+        assert view.projected_attributes(catalog) == ("k", "a")
+
+    def test_join_requires_attribute(self):
+        with pytest.raises(ViewError):
+            JoinSpec(base("L"), base("R"), (), ())
+
+    def test_join_arity_mismatch(self):
+        with pytest.raises(ViewError):
+            JoinSpec(base("L"), base("R"), ("k",), ("k", "b"))
+
+    def test_join_on_string_shorthand(self, catalog):
+        view = join(base("L"), base("R"), on="k", right_on="k")
+        assert view.left_on == ("k",) and view.right_on == ("k",)
+
+    def test_base_relation_names(self):
+        view = join(join(base("A"), base("B"), on="x"), base("C"), on="y")
+        assert view.base_relation_names() == ("A", "B", "C")
+
+    def test_walk_and_depth(self):
+        view = sel(join(base("A"), base("B"), on="x"), gt("a", 1))
+        kinds = [type(node).__name__ for node in view.walk()]
+        assert kinds == ["BaseRelationSpec", "BaseRelationSpec", "JoinSpec", "SelectSpec"]
+        assert view.depth() == 3
+        assert view.join_count() == 1
+
+
+class TestValidateView:
+    def test_valid_view(self, catalog):
+        assert validate_view(join(base("L"), base("R"), on="k"), catalog) == ("k", "a", "b")
+
+    def test_unknown_relation(self, catalog):
+        with pytest.raises(ViewError):
+            validate_view(base("missing"), catalog)
+
+    def test_invalid_projection_attribute(self, catalog):
+        with pytest.raises(ViewError):
+            validate_view(proj(base("L"), ["nope"]), catalog)
+
+    def test_nested_view_evaluation_matches_manual(self, catalog):
+        view = proj(sel(join(base("L"), base("R"), on="k"), gt("a", 10)), ["k", "b"])
+        result = view.evaluate(catalog)
+        assert result.attribute_names == ("k", "b")
+        assert result.rows == ((2, "y"),)
