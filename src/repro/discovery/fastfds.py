@@ -85,7 +85,7 @@ class FastFDs(FDDiscoveryAlgorithm):
         for name in names:
             bit = bit_of[name]
             partition = StrippedPartition.from_column(relation, name)
-            for group in partition.groups:
+            for group in partition.iter_groups():
                 for first, second in combinations(group, 2):
                     key = first * n_rows + second
                     agree[key] = agree.get(key, 0) | bit

@@ -42,10 +42,13 @@ class FUN(FDDiscoveryAlgorithm):
         cardinality: dict[AttributeSet, int] = {frozenset(): 1}
         minimal_lhs: dict[str, list[AttributeSet]] = {a: [] for a in attributes}
 
-        # Level 0: constant attributes.
+        # Level 0: constant attributes.  Cardinalities of single attributes
+        # come straight from the relation's cached integer encodings — no
+        # partition needs to be materialised for attributes that the free-set
+        # walk never revisits.
         for attribute in attributes:
             stats.validations += 1
-            card = cache.get([attribute]).distinct_count
+            card = relation.column_code_count(attribute)
             cardinality[frozenset({attribute})] = card
             if card <= 1:
                 results.append(FD((), attribute))

@@ -53,7 +53,7 @@ class HyFD(FDDiscoveryAlgorithm):
         cache = PartitionCache(relation)
 
         # Phase 1: focused sampling builds the negative cover.
-        agree_sets = self._sample_agree_sets(relation, names, stats)
+        agree_sets = self._sample_agree_sets(relation, names, stats, cache)
         candidates = self._induce_candidates(names, universe, agree_sets)
 
         # Phase 2: validation, with specialisation of violated candidates.
@@ -91,27 +91,35 @@ class HyFD(FDDiscoveryAlgorithm):
 
     # -- phase 1: sampling and induction --------------------------------------
     def _sample_agree_sets(
-        self, relation: Relation, names: tuple[str, ...], stats: DiscoveryStats
+        self,
+        relation: Relation,
+        names: tuple[str, ...],
+        stats: DiscoveryStats,
+        cache: PartitionCache,
     ) -> set[AttributeSet]:
-        """Agree sets of focused-sampled tuple pairs (the negative cover)."""
+        """Agree sets of focused-sampled tuple pairs (the negative cover).
+
+        Pairs are read off the single-attribute stripped partitions (shared
+        with the validation phase through ``cache``) and compared through the
+        relation's cached integer column codes, so sampling performs integer
+        comparisons only — never re-reads raw row values.
+        """
         agree_sets: set[AttributeSet] = set()
-        indexes = {name: relation.schema.index_of(name) for name in names}
-        rows = relation.rows
+        codes = {name: relation.column_codes(name)[0] for name in names}
+        full = frozenset(names)
         for name in names:
             # Neighbouring rows inside each equivalence class of `name` are the
             # pairs most likely to agree on many attributes.
-            index = relation.value_index(name)
-            for positions in index.values():
-                if len(positions) < 2:
-                    continue
+            for positions in cache.get([name]).iter_groups():
                 for offset in range(1, min(self.window, len(positions))):
                     for i in range(len(positions) - offset):
-                        first, second = rows[positions[i]], rows[positions[i + offset]]
+                        first, second = positions[i], positions[i + offset]
                         stats.sampled_pairs += 1
                         agreeing = frozenset(
-                            attr for attr in names if first[indexes[attr]] == second[indexes[attr]]
+                            attr for attr in names
+                            if codes[attr][first] == codes[attr][second]
                         )
-                        if agreeing != frozenset(names):
+                        if agreeing != full:
                             agree_sets.add(agreeing)
         return agree_sets
 

@@ -14,7 +14,10 @@ from __future__ import annotations
 from itertools import combinations
 
 from ..fd.fd import FD
-from ..relational.partition import StrippedPartition, fd_violation_fraction
+from ..relational.partition import (
+    StrippedPartition,
+    fd_violation_fraction_from_partition,
+)
 from ..relational.relation import Relation
 from .base import DiscoveryStats, FDDiscoveryAlgorithm
 
@@ -194,9 +197,17 @@ class ApproximateTANE(TANE):
         self.threshold = threshold
 
     def _dependency_is_valid(self, lhs, candidate, attribute, partitions):
-        """Accept the dependency when its exact g3 error is within the threshold."""
+        """Accept the dependency when its exact g3 error is within the threshold.
+
+        Reuses the LHS partition already held by the lattice walk and the
+        relation's cached column codes instead of rebuilding a partition
+        cache per check.
+        """
         if partitions[lhs].error == partitions[candidate].error:
             return True
         return (
-            fd_violation_fraction(self._current_relation, lhs, attribute) <= self.threshold
+            fd_violation_fraction_from_partition(
+                self._current_relation, partitions[lhs], attribute
+            )
+            <= self.threshold
         )

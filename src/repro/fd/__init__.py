@@ -2,6 +2,7 @@
 
 from .approximate import ApproximateFD, approximate_fds, g3_error, holds_approximately
 from .closure import (
+    FDIndex,
     attribute_closure,
     canonical_cover,
     equivalent,
@@ -20,6 +21,7 @@ __all__ = [
     "FDError",
     "fd",
     "FDSet",
+    "FDIndex",
     "attribute_closure",
     "implies",
     "equivalent",

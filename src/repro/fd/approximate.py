@@ -13,7 +13,11 @@ from dataclasses import dataclass
 from itertools import combinations
 from typing import Iterable, Iterator
 
-from ..relational.partition import PartitionCache, fd_violation_fraction
+from ..relational.partition import (
+    PartitionCache,
+    fd_violation_fraction,
+    fd_violation_fraction_from_partition,
+)
 from ..relational.relation import Relation
 from .fd import FD
 
@@ -84,6 +88,10 @@ def approximate_fds(
     for size in range(1, max_lhs + 1):
         for lhs in combinations(sorted(names), size):
             lhs_set = frozenset(lhs)
+            # One LHS partition serves every RHS candidate of this row of the
+            # lattice (built on first use); the g3 probes then only read
+            # cached column codes.
+            lhs_partition = None
             for rhs in names:
                 if rhs in lhs_set:
                     continue
@@ -91,7 +99,13 @@ def approximate_fds(
                 # within threshold for this RHS.
                 if any(previous <= lhs_set for previous in exact_or_afd[rhs]):
                     continue
-                error = fd_violation_fraction(relation, lhs_set, rhs, cache)
+                if lhs_partition is None and len(relation):
+                    lhs_partition = cache.get(lhs)
+                error = (
+                    fd_violation_fraction_from_partition(relation, lhs_partition, rhs)
+                    if lhs_partition is not None
+                    else 0.0
+                )
                 if error == 0.0:
                     exact_or_afd[rhs].append(lhs_set)
                     continue

@@ -13,25 +13,79 @@ from typing import Iterable, Sequence
 from .fd import FD
 
 
-def attribute_closure(attributes: Iterable[str], fds: Iterable[FD]) -> frozenset[str]:
+class FDIndex:
+    """Reusable per-attribute index over a fixed FD list for fast closures.
+
+    :func:`attribute_closure` is called in tight loops by
+    :func:`prune_non_minimal`, :func:`canonical_cover` and InFine's join
+    mining; the naive fixed point rescans the whole FD list on every
+    iteration, which is quadratic in practice.  This index implements the
+    linear-time closure algorithm (Beeri & Bernstein): every FD keeps an
+    *unsatisfied-LHS counter*, every attribute maps to the FDs whose LHS
+    mentions it, and an attribute entering the closure decrements only the
+    counters of the FDs it actually appears in; an FD fires when its counter
+    reaches zero.
+
+    Build the index once per FD set and call :meth:`closure` repeatedly;
+    the index itself is immutable.
+    """
+
+    __slots__ = ("fds", "_rhs", "_lhs_sizes", "_by_attribute", "_instant_rhs")
+
+    def __init__(self, fds: Iterable[FD]) -> None:
+        self.fds = list(fds)
+        self._rhs = [dependency.rhs for dependency in self.fds]
+        self._lhs_sizes = [len(dependency.lhs) for dependency in self.fds]
+        by_attribute: dict[str, list[int]] = {}
+        instant: list[str] = []
+        for index, dependency in enumerate(self.fds):
+            if not dependency.lhs:
+                instant.append(dependency.rhs)
+                continue
+            for attribute in dependency.lhs:
+                by_attribute.setdefault(attribute, []).append(index)
+        self._by_attribute = by_attribute
+        self._instant_rhs = instant
+
+    def closure(self, attributes: Iterable[str]) -> frozenset[str]:
+        """The closure ``X+`` of ``attributes`` under the indexed FDs."""
+        closure = set(attributes)
+        pending = list(closure)
+        for rhs in self._instant_rhs:
+            if rhs not in closure:
+                closure.add(rhs)
+                pending.append(rhs)
+        remaining = list(self._lhs_sizes)
+        by_attribute = self._by_attribute
+        rhs_of = self._rhs
+        while pending:
+            attribute = pending.pop()
+            for index in by_attribute.get(attribute, ()):
+                remaining[index] -= 1
+                if not remaining[index]:
+                    rhs = rhs_of[index]
+                    if rhs not in closure:
+                        closure.add(rhs)
+                        pending.append(rhs)
+        return frozenset(closure)
+
+    def implies(self, candidate: FD) -> bool:
+        """Whether the indexed FDs imply ``candidate`` (Armstrong axioms)."""
+        return candidate.rhs in self.closure(candidate.lhs)
+
+
+def attribute_closure(attributes: Iterable[str], fds: Iterable[FD] | FDIndex) -> frozenset[str]:
     """The closure ``X+`` of ``attributes`` under ``fds``.
 
-    Standard fixed-point computation: repeatedly add the RHS of every FD
-    whose LHS is already contained in the closure.
+    Indexed fixed-point computation; pass a prebuilt :class:`FDIndex` to
+    amortise the indexing cost over many closures of the same FD set.
     """
-    closure = set(attributes)
-    fds = list(fds)
-    changed = True
-    while changed:
-        changed = False
-        for dependency in fds:
-            if dependency.rhs not in closure and dependency.lhs <= closure:
-                closure.add(dependency.rhs)
-                changed = True
-    return frozenset(closure)
+    if not isinstance(fds, FDIndex):
+        fds = FDIndex(fds)
+    return fds.closure(attributes)
 
 
-def implies(fds: Iterable[FD], candidate: FD) -> bool:
+def implies(fds: Iterable[FD] | FDIndex, candidate: FD) -> bool:
     """Whether ``fds`` logically implies ``candidate`` (Armstrong axioms)."""
     return candidate.rhs in attribute_closure(candidate.lhs, fds)
 
@@ -39,32 +93,35 @@ def implies(fds: Iterable[FD], candidate: FD) -> bool:
 def equivalent(first: Iterable[FD], second: Iterable[FD]) -> bool:
     """Whether two FD sets are logically equivalent (mutual implication)."""
     first, second = list(first), list(second)
-    return all(implies(second, dependency) for dependency in first) and all(
-        implies(first, dependency) for dependency in second
+    first_index, second_index = FDIndex(first), FDIndex(second)
+    return all(second_index.implies(dependency) for dependency in first) and all(
+        first_index.implies(dependency) for dependency in second
     )
 
 
-def is_minimal(candidate: FD, fds: Iterable[FD]) -> bool:
+def is_minimal(candidate: FD, fds: Iterable[FD] | FDIndex) -> bool:
     """Whether ``candidate`` has a minimal LHS with respect to ``fds``.
 
     ``X -> a`` is non-minimal if some proper subset ``X' ⊂ X`` already
     determines ``a`` under ``fds``.
     """
-    fds = list(fds)
+    if not isinstance(fds, FDIndex):
+        fds = FDIndex(fds)
     for attribute in candidate.lhs:
         reduced = candidate.lhs - {attribute}
-        if candidate.rhs in attribute_closure(reduced, fds):
+        if candidate.rhs in fds.closure(reduced):
             return False
     return True
 
 
-def minimise_lhs(candidate: FD, fds: Iterable[FD]) -> FD:
+def minimise_lhs(candidate: FD, fds: Iterable[FD] | FDIndex) -> FD:
     """Shrink the LHS of ``candidate`` to a minimal determinant under ``fds``."""
-    fds = list(fds)
+    if not isinstance(fds, FDIndex):
+        fds = FDIndex(fds)
     lhs = set(candidate.lhs)
     for attribute in sorted(candidate.lhs):
         reduced = lhs - {attribute}
-        if candidate.rhs in attribute_closure(reduced, fds):
+        if candidate.rhs in fds.closure(reduced):
             lhs = reduced
     return FD(lhs, candidate.rhs)
 
@@ -76,8 +133,9 @@ def canonical_cover(fds: Iterable[FD]) -> list[FD]:
     FDs and minimises left-hand sides, yielding a deterministic ordering.
     """
     current = sorted(set(fds), key=FD.sort_key)
-    # Minimise left-hand sides against the full set.
-    current = sorted({minimise_lhs(dependency, current) for dependency in current},
+    # Minimise left-hand sides against the full set (one shared index).
+    index = FDIndex(current)
+    current = sorted({minimise_lhs(dependency, index) for dependency in current},
                      key=FD.sort_key)
     # Drop redundant FDs (those implied by the others).
     cover: list[FD] = []
@@ -99,8 +157,8 @@ def prune_non_minimal(candidates: Iterable[FD], known: Iterable[FD]) -> list[FD]
     previously discovered FDs need not be checked against the data, and would
     not be minimal anyway.
     """
-    known = list(known)
-    return [candidate for candidate in candidates if not implies(known, candidate)]
+    index = FDIndex(known)
+    return [candidate for candidate in candidates if not index.implies(candidate)]
 
 
 def project_fds(fds: Iterable[FD], attributes: Iterable[str]) -> list[FD]:
@@ -122,11 +180,12 @@ def project_fds(fds: Iterable[FD], attributes: Iterable[str]) -> list[FD]:
     # removed attributes (e.g. a -> b -> c with b projected away).
     results: set[FD] = set(direct)
     max_lhs = min(3, len(retained))
+    index = FDIndex(fds)
     from itertools import combinations
 
     for size in range(1, max_lhs + 1):
         for lhs in combinations(retained, size):
-            closure = attribute_closure(lhs, fds)
+            closure = index.closure(lhs)
             for attribute in closure & retained_set:
                 if attribute in lhs:
                     continue
@@ -156,17 +215,18 @@ def transitive_fds_through(
     right_join = set(right_join_attributes)
 
     inferred: set[FD] = set()
+    left_index = FDIndex(left_fds)
+    # Everything the right join attributes determine on the right side
+    # transfers to any determinant covering the left join attributes.
+    right_closure = attribute_closure(right_join, right_fds)
     # Determinants A (LHSs of known left FDs, plus the join attributes
     # themselves) whose closure covers every left join attribute.
     candidate_determinants = {dependency.lhs for dependency in left_fds}
     candidate_determinants.add(frozenset(left_join))
     for determinant in candidate_determinants:
-        closure = attribute_closure(determinant, left_fds)
+        closure = left_index.closure(determinant)
         if not set(left_join) <= set(closure):
             continue
-        # Everything the right join attributes determine on the right side
-        # transfers to this determinant.
-        right_closure = attribute_closure(right_join, right_fds)
         for attribute in right_closure - right_join:
             if attribute in determinant:
                 continue

@@ -23,7 +23,7 @@ from typing import Iterable, Sequence
 from ..fd.closure import transitive_fds_through
 from ..fd.fd import FD
 from ..relational.algebra import JoinKind, equi_join, project
-from ..relational.partition import PartitionCache, fd_holds
+from ..relational.partition import PartitionCache, fd_holds_fast
 from ..relational.relation import Relation
 from .provenance import FDType, ProvenanceTriple
 
@@ -203,7 +203,9 @@ def _refine(
             if any(found.lhs <= frozenset(subset) for found in minimal):
                 continue
             outcome.candidates_checked += 1
-            if fd_holds(partial, subset, dependency.rhs, cache):
+            # Probe the subset partition against the cached RHS column codes
+            # instead of materialising the subset ∪ {rhs} partition.
+            if fd_holds_fast(partial, cache.get(subset), dependency.rhs):
                 minimal.append(FD(subset, dependency.rhs))
     return minimal if minimal else [dependency]
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-from ..fd.closure import attribute_closure
+from ..fd.closure import FDIndex
 from ..fd.fd import FD
 from ..relational.algebra import JoinKind, equi_join
 from ..relational.partition import PartitionCache, fd_holds_fast
@@ -113,6 +113,8 @@ def mine_join_fds(
     known = list(known_fds)
     left_cover = list(left_fds)
     right_cover = list(right_fds)
+    left_cover_index = FDIndex(left_cover)
+    right_cover_index = FDIndex(right_cover)
     left_join_attrs = set(left_on)
     right_join_attrs = set(right_on)
     found: list[FD] = []
@@ -121,13 +123,26 @@ def mine_join_fds(
     joined: Relation | None = None
     cache: PartitionCache | None = None
     closure_cache: dict[frozenset[str], frozenset[str]] = {}
+    known_index = FDIndex(known)
+    # Closures over `known + found` are re-indexed lazily whenever the mining
+    # discovers a new FD; between discoveries the index is reused across every
+    # candidate of the lattice walk.
+    combined_index = known_index
+    combined_stale = False
 
     def known_closure(lhs: frozenset[str]) -> frozenset[str]:
         cached = closure_cache.get(lhs)
         if cached is None:
-            cached = attribute_closure(lhs, known)
+            cached = known_index.closure(lhs)
             closure_cache[lhs] = cached
         return cached
+
+    def combined_closure(lhs: frozenset[str]) -> frozenset[str]:
+        nonlocal combined_index, combined_stale
+        if combined_stale:
+            combined_index = FDIndex(known + found)
+            combined_stale = False
+        return combined_index.closure(lhs)
 
     def materialise_join() -> tuple[Relation, PartitionCache]:
         nonlocal joined, cache
@@ -136,7 +151,10 @@ def mine_join_fds(
                 left_instance, right_instance, left_on, right_on, kind=kind,
                 name=f"partial({subquery})",
             )
-            cache = PartitionCache(joined)
+            # The lattice walk can request one LHS partition per surviving
+            # candidate; bound the cache so wide joins cannot hold every
+            # combination alive at once (evicted entries are recomputed).
+            cache = PartitionCache(joined, max_positions=max(65_536, 16 * len(joined)))
             outcome.join_materialised = True
             outcome.partial_join_rows = len(joined)
             outcome.joined = joined
@@ -181,17 +199,19 @@ def mine_join_fds(
                     dependency = FD(lhs, rhs)
                     found.append(dependency)
                     dominating.append(lhs)
+                    combined_stale = True
                     outcome.triples.append(
                         ProvenanceTriple(dependency, FDType.INFERRED, subquery)
                     )
                     continue
-                if rhs in attribute_closure(lhs, known + found):
+                if rhs in combined_closure(lhs):
                     # Valid, but only thanks to previously mined join FDs: it
                     # is a join FD itself (Definition 7), still no data access.
                     outcome.candidates_pruned_logically += 1
                     dependency = FD(lhs, rhs)
                     found.append(dependency)
                     dominating.append(lhs)
+                    combined_stale = True
                     outcome.triples.append(
                         ProvenanceTriple(dependency, FDType.JOIN, subquery)
                     )
@@ -199,7 +219,7 @@ def mine_join_fds(
                 if use_theorem4 and not _theorem4_admits(
                     lhs, rhs, in_left, in_right,
                     left_side, right_side, left_join_attrs, right_join_attrs,
-                    left_cover, right_cover,
+                    left_cover_index, right_cover_index,
                 ):
                     # The candidate cannot hold on the join (Theorem 4);
                     # supersets adding same-side attributes may still hold.
@@ -213,6 +233,7 @@ def mine_join_fds(
                     dependency = FD(lhs, rhs)
                     found.append(dependency)
                     dominating.append(lhs)
+                    combined_stale = True
                     outcome.triples.append(
                         ProvenanceTriple(dependency, FDType.JOIN, subquery)
                     )
@@ -269,25 +290,26 @@ def _theorem4_admits(
     right_side: set[str],
     left_join_attrs: set[str],
     right_join_attrs: set[str],
-    left_cover: list[FD],
-    right_cover: list[FD],
+    left_cover_index: FDIndex,
+    right_cover_index: FDIndex,
 ) -> bool:
     """Whether Theorem 4 allows the candidate ``lhs -> rhs`` to hold at all.
 
     For a dependent attribute from side ``J`` with join attributes ``Y``, the
     candidate can hold only if ``Y ∪ (lhs ∩ atts(J)) -> rhs`` holds on the
     (reduced) instance of ``J``, which is decided against that side's
-    complete FD cover.  A dependent shared by both sides (a join attribute)
-    admits the candidate whenever either side does.
+    complete FD cover (indexed once per join node).  A dependent shared by
+    both sides (a join attribute) admits the candidate whenever either side
+    does.
     """
     admitted = False
     if in_right:
         same_side = lhs & (right_side - right_join_attrs)
-        closure = attribute_closure(right_join_attrs | same_side, right_cover)
+        closure = right_cover_index.closure(right_join_attrs | same_side)
         admitted = admitted or rhs in closure or rhs in right_join_attrs
     if in_left and not admitted:
         same_side = lhs & (left_side - left_join_attrs)
-        closure = attribute_closure(left_join_attrs | same_side, left_cover)
+        closure = left_cover_index.closure(left_join_attrs | same_side)
         admitted = admitted or rhs in closure or rhs in left_join_attrs
     return admitted
 

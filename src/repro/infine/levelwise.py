@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from ..discovery.tane import TANE
-from ..fd.closure import attribute_closure
+from ..fd.closure import FDIndex
 from ..fd.fd import FD
 from ..relational.relation import Relation
 
@@ -62,11 +62,12 @@ def mine_new_fds(
     result = miner.discover(reduced, usable)
 
     new_fds: list[FD] = []
+    known_index = FDIndex(known)
     closure_cache: dict[frozenset[str], frozenset[str]] = {}
     for dependency in result.fds:
         closure = closure_cache.get(dependency.lhs)
         if closure is None:
-            closure = attribute_closure(dependency.lhs, known)
+            closure = known_index.closure(dependency.lhs)
             closure_cache[dependency.lhs] = closure
         if dependency.rhs not in closure:
             new_fds.append(dependency)

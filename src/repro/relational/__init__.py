@@ -2,6 +2,35 @@
 
 Exposes relations, schemas, the SPJ algebra, stripped partitions and the SPJ
 view-specification AST used throughout the library.
+
+Performance architecture
+------------------------
+The discovery/validation hot path is columnar:
+
+* **Column encodings** — every :class:`Relation` lazily dictionary-encodes
+  each column into dense ``int`` codes held in an ``array('q')``
+  (:meth:`Relation.column_codes`).  Encodings are cached on the (immutable)
+  relation and shared by all partition and FD primitives, so equality tests
+  on the hot path compare machine integers instead of hashing raw values;
+  combinations fold per-column codes with a re-densified mixed-radix product
+  (:meth:`Relation.combined_column_codes`).
+* **Flat-array partitions** — a :class:`StrippedPartition` stores one flat
+  ``positions`` array plus a group-``offsets`` array instead of
+  tuples-of-tuples.  ``intersect`` and ``refines`` are single-pass probe
+  algorithms: the side with the smaller ``||π||`` is probed against a
+  reusable row -> group-id mark table of the other side (TANE's linear
+  partition product); mark tables are amortised across calls by a small
+  bounded cache.  ``fd_holds_fast`` / ``fd_violation_fraction`` scan LHS
+  groups against the cached RHS column codes with early exit.
+* **Partition caching** — :class:`PartitionCache` memoises partitions per
+  attribute set with hit/miss/eviction statistics, pins the single-attribute
+  basis, composes new combinations from the cached subset with the fewest
+  groups, and (optionally) evicts multi-attribute entries LRU-first under a
+  ``stripped_size`` memory budget.
+
+TANE, FUN, FastFDs, HyFD, the naive oracle, the g3/AFD measures and InFine's
+join-FD validation all inherit this kernel; ``benchmarks/
+bench_partition_kernel.py`` tracks its performance trajectory.
 """
 
 from .algebra import (
@@ -16,9 +45,12 @@ from .algebra import (
 from .csv_io import load_catalog, load_csv, save_catalog, save_csv
 from .partition import (
     PartitionCache,
+    PartitionCacheStats,
     StrippedPartition,
     fd_holds,
+    fd_holds_fast,
     fd_violation_fraction,
+    fd_violation_fraction_from_partition,
 )
 from .predicates import (
     And,
@@ -87,8 +119,11 @@ __all__ = [
     "ge",
     "StrippedPartition",
     "PartitionCache",
+    "PartitionCacheStats",
     "fd_holds",
+    "fd_holds_fast",
     "fd_violation_fraction",
+    "fd_violation_fraction_from_partition",
     "ViewSpec",
     "BaseRelationSpec",
     "ProjectSpec",

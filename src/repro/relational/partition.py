@@ -1,4 +1,4 @@
-"""Stripped partitions (position list indexes).
+"""Stripped partitions (position list indexes) over a flat-array kernel.
 
 A *partition* of a relation with respect to an attribute set ``X`` groups the
 row positions that agree on ``X``.  The *stripped* partition drops singleton
@@ -13,14 +13,93 @@ Key facts used by the algorithms:
   split any group);
 * partitions compose: ``partition(XY) = partition(X) * partition(Y)`` where
   ``*`` is the product implemented by :meth:`StrippedPartition.intersect`.
+
+Kernel layout
+-------------
+Internally a partition is two flat arrays instead of tuples-of-tuples:
+
+* ``positions`` — the row positions of all non-singleton groups, concatenated;
+* ``offsets`` — group boundaries, so group ``i`` is
+  ``positions[offsets[i]:offsets[i + 1]]``.
+
+Construction goes through the relation's cached per-column integer encodings
+(:meth:`~repro.relational.relation.Relation.column_codes`) and a counting
+sort, so building, intersecting and refining partitions never hash raw row
+values — only dense machine integers.  ``intersect`` and ``refines`` are
+single-pass probe-table algorithms over reusable ``n_rows``-sized scratch
+tables (row -> group-id mark arrays, kept in a small bounded cache); the
+side with the smaller ``||π||`` is probed into the marks of the larger one,
+as in TANE's linear partition product.  The tuple-of-tuples view remains
+available through the backward-compatible :attr:`StrippedPartition.groups`
+property.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Iterable, Sequence
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
 
 from .relation import Relation
+
+# Bounded cache of row -> group-id mark arrays (the reusable ``n_rows``-sized
+# scratch tables of the probe algorithms).  ``intersect``/``refines`` probe one
+# partition against the marks of another; level-wise exploration reuses the
+# same partitions as mark side over and over (TANE intersects every candidate
+# with single-attribute partitions; refinement checks sweep one RHS partition
+# across many LHSs), so a handful of cached mark arrays amortises the
+# ``O(n_rows)`` marking pass to near zero.  Entries hold a strong reference to
+# their partition, which both bounds memory (at most ``_MAX_MARK_ENTRIES``
+# arrays) and guarantees the ``id()`` key stays valid.
+_MARKS_CACHE: "OrderedDict[int, tuple[StrippedPartition, list[int]]]" = OrderedDict()
+_MAX_MARK_ENTRIES = 8
+
+
+def _row_marks(partition: "StrippedPartition") -> list[int]:
+    """Row position -> group id (or -1 for stripped singletons) of ``partition``."""
+    key = id(partition)
+    entry = _MARKS_CACHE.get(key)
+    if entry is not None and entry[0] is partition:
+        _MARKS_CACHE.move_to_end(key)
+        return entry[1]
+    marks = [-1] * partition.n_rows
+    positions, offsets = partition.positions, partition.offsets
+    start = offsets[0]
+    for group_id in range(1, len(offsets)):
+        end = offsets[group_id]
+        mark = group_id - 1
+        for position in positions[start:end]:
+            marks[position] = mark
+        start = end
+    _MARKS_CACHE[key] = (partition, marks)
+    if len(_MARKS_CACHE) > _MAX_MARK_ENTRIES:
+        _MARKS_CACHE.popitem(last=False)
+    return marks
+
+
+def _stripped_from_codes(
+    codes: Sequence[int], counts: Sequence[int]
+) -> tuple[list[int], list[int]]:
+    """Counting-sort ``codes`` into flat (positions, offsets) arrays.
+
+    ``counts`` holds the number of occurrences of each code.  Groups appear
+    in first-value-appearance order; positions within a group are ascending.
+    Codes occurring once are stripped.
+    """
+    buckets: list[list[int] | None] = [
+        [] if count > 1 else None for count in counts
+    ]
+    positions: list[int] = []
+    offsets: list[int] = [0]
+    for position, code in enumerate(codes):
+        bucket = buckets[code]
+        if bucket is not None:
+            bucket.append(position)
+    for bucket in buckets:
+        if bucket is not None:
+            positions.extend(bucket)
+            offsets.append(len(positions))
+    return positions, offsets
 
 
 class StrippedPartition:
@@ -35,46 +114,89 @@ class StrippedPartition:
         the number of singleton classes and compute errors).
     """
 
-    __slots__ = ("groups", "n_rows")
+    __slots__ = ("positions", "offsets", "n_rows", "_groups_cache")
 
     def __init__(self, groups: Iterable[Sequence[int]], n_rows: int) -> None:
-        self.groups: tuple[tuple[int, ...], ...] = tuple(
-            tuple(group) for group in groups if len(group) > 1
-        )
+        positions: list[int] = []
+        offsets: list[int] = [0]
+        for group in groups:
+            group = list(group)
+            if len(group) > 1:
+                positions.extend(group)
+                offsets.append(len(positions))
+        self.positions = positions
+        self.offsets = offsets
         self.n_rows = n_rows
+        self._groups_cache: tuple[tuple[int, ...], ...] | None = None
+
+    @classmethod
+    def _from_flat(
+        cls, positions: list[int], offsets: list[int], n_rows: int
+    ) -> "StrippedPartition":
+        """Internal fast path: adopt already-built flat arrays (no copying)."""
+        partition = object.__new__(cls)
+        partition.positions = positions
+        partition.offsets = offsets
+        partition.n_rows = n_rows
+        partition._groups_cache = None
+        return partition
 
     # -- construction ---------------------------------------------------------
     @classmethod
     def from_column(cls, relation: Relation, attribute: str) -> "StrippedPartition":
         """Build the stripped partition of a single attribute."""
-        index: dict[object, list[int]] = defaultdict(list)
-        column_idx = relation.schema.index_of(attribute)
-        for position, row in enumerate(relation.rows):
-            index[row[column_idx]].append(position)
-        return cls(index.values(), len(relation))
+        codes, _, counts = relation._encode_column(attribute)
+        positions, offsets = _stripped_from_codes(codes, counts)
+        return cls._from_flat(positions, offsets, len(relation))
 
     @classmethod
     def from_columns(cls, relation: Relation, attributes: Sequence[str]) -> "StrippedPartition":
         """Build the stripped partition of an attribute combination directly."""
         if not attributes:
             # The empty attribute set puts every row in one class.
-            return cls([list(range(len(relation)))], len(relation))
-        idxs = relation.schema.indexes_of(attributes)
-        index: dict[tuple, list[int]] = defaultdict(list)
-        for position, row in enumerate(relation.rows):
-            index[tuple(row[i] for i in idxs)].append(position)
-        return cls(index.values(), len(relation))
+            return cls([range(len(relation))], len(relation))
+        if len(attributes) == 1:
+            return cls.from_column(relation, attributes[0])
+        codes, n_codes = relation.combined_column_codes(attributes)
+        counts = [0] * n_codes
+        for code in codes:
+            counts[code] += 1
+        positions, offsets = _stripped_from_codes(codes, counts)
+        return cls._from_flat(positions, offsets, len(relation))
+
+    # -- views ----------------------------------------------------------------
+    @property
+    def groups(self) -> tuple[tuple[int, ...], ...]:
+        """The non-singleton classes as tuples (materialised lazily)."""
+        cached = self._groups_cache
+        if cached is None:
+            positions, offsets = self.positions, self.offsets
+            cached = tuple(
+                tuple(positions[offsets[i] : offsets[i + 1]])
+                for i in range(len(offsets) - 1)
+            )
+            self._groups_cache = cached
+        return cached
+
+    def iter_groups(self) -> Iterator[list[int]]:
+        """Iterate over the classes as fresh lists, without caching tuples."""
+        positions, offsets = self.positions, self.offsets
+        start = offsets[0]
+        for i in range(1, len(offsets)):
+            end = offsets[i]
+            yield positions[start:end]
+            start = end
 
     # -- measures -------------------------------------------------------------
     @property
     def n_groups(self) -> int:
         """Number of non-singleton equivalence classes."""
-        return len(self.groups)
+        return len(self.offsets) - 1
 
     @property
     def stripped_size(self) -> int:
         """Total number of positions kept in non-singleton classes (``||π||``)."""
-        return sum(len(group) for group in self.groups)
+        return len(self.positions)
 
     @property
     def error(self) -> int:
@@ -82,16 +204,16 @@ class StrippedPartition:
 
         ``X -> a`` holds exactly iff ``error(X) == error(X ∪ {a})``.
         """
-        return self.stripped_size - self.n_groups
+        return len(self.positions) - (len(self.offsets) - 1)
 
     @property
     def distinct_count(self) -> int:
         """Number of distinct values (classes including singletons)."""
-        return self.n_rows - self.stripped_size + self.n_groups
+        return self.n_rows - len(self.positions) + (len(self.offsets) - 1)
 
     def is_key(self) -> bool:
         """Whether the attribute set is a (super)key: every class is a singleton."""
-        return not self.groups
+        return not self.positions
 
     def g3_error(self) -> float:
         """The g3 measure used for approximate FDs when this partition refines RHS.
@@ -106,22 +228,47 @@ class StrippedPartition:
 
     # -- operations -----------------------------------------------------------
     def intersect(self, other: "StrippedPartition") -> "StrippedPartition":
-        """Partition product ``π(X) * π(Y) = π(XY)`` (linear-time algorithm)."""
+        """Partition product ``π(X) * π(Y) = π(XY)`` (linear-time algorithm).
+
+        The side with the smaller ``||π||`` is probed, group by group, against
+        the row -> group-id mark table of the larger side — TANE's linear
+        product, with the mark tables amortised across calls by a small
+        bounded cache.
+        """
         if self.n_rows != other.n_rows:
             raise ValueError("cannot intersect partitions over different relations")
-        # Map each position covered by `self` to its group id.
-        group_of: dict[int, int] = {}
-        for group_id, group in enumerate(self.groups):
-            for position in group:
-                group_of[position] = group_id
-        # Probe with `other`; positions not covered by `self` are singletons there.
-        buckets: dict[tuple[int, int], list[int]] = defaultdict(list)
-        for other_id, group in enumerate(other.groups):
-            for position in group:
-                own_id = group_of.get(position)
-                if own_id is not None:
-                    buckets[(own_id, other_id)].append(position)
-        return StrippedPartition(buckets.values(), self.n_rows)
+        if not self.positions or not other.positions:
+            # A key on either side leaves only singletons in the product.
+            return StrippedPartition._from_flat([], [0], self.n_rows)
+        if len(self.positions) <= len(other.positions):
+            probe, build = self, other
+        else:
+            probe, build = other, self
+        marks = _row_marks(build)
+        out_positions: list[int] = []
+        out_offsets: list[int] = [0]
+        extend = out_positions.extend
+        close_group = out_offsets.append
+        positions, offsets = probe.positions, probe.offsets
+        start = offsets[0]
+        for group_id in range(1, len(offsets)):
+            end = offsets[group_id]
+            buckets: dict[int, list[int]] = {}
+            get_bucket = buckets.get
+            for position in positions[start:end]:
+                mark = marks[position]
+                if mark >= 0:
+                    bucket = get_bucket(mark)
+                    if bucket is None:
+                        buckets[mark] = [position]
+                    else:
+                        bucket.append(position)
+            start = end
+            for bucket in buckets.values():
+                if len(bucket) > 1:
+                    extend(bucket)
+                    close_group(len(out_positions))
+        return StrippedPartition._from_flat(out_positions, out_offsets, self.n_rows)
 
     def refines(self, other: "StrippedPartition") -> bool:
         """Whether every class of ``self`` is contained in a class of ``other``.
@@ -130,69 +277,155 @@ class StrippedPartition:
         """
         if self.n_rows != other.n_rows:
             raise ValueError("cannot compare partitions over different relations")
-        class_of: dict[int, int] = {}
-        for group_id, group in enumerate(other.groups):
-            for position in group:
-                class_of[position] = group_id
-        for group in self.groups:
-            first = class_of.get(group[0], -1 - group[0])
-            for position in group[1:]:
-                if class_of.get(position, -1 - position) != first:
+        if not self.positions:
+            return True
+        marks = _row_marks(other)
+        positions, offsets = self.positions, self.offsets
+        start = offsets[0]
+        for group_id in range(1, len(offsets)):
+            end = offsets[group_id]
+            first = marks[positions[start]]
+            if first < 0:
+                # The leading position is a singleton of `other`, yet its
+                # class here has at least two members: the class splits.
+                return False
+            for position in positions[start + 1 : end]:
+                if marks[position] != first:
                     return False
+            start = end
         return True
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, StrippedPartition):
             return NotImplemented
-        mine = {frozenset(group) for group in self.groups}
-        theirs = {frozenset(group) for group in other.groups}
+        mine = {frozenset(group) for group in self.iter_groups()}
+        theirs = {frozenset(group) for group in other.iter_groups()}
         return self.n_rows == other.n_rows and mine == theirs
 
     def __hash__(self) -> int:  # pragma: no cover - not used as dict key
-        return hash((self.n_rows, frozenset(frozenset(g) for g in self.groups)))
+        return hash((self.n_rows, frozenset(frozenset(g) for g in self.iter_groups())))
 
     def __repr__(self) -> str:
         return f"StrippedPartition(groups={self.n_groups}, rows={self.n_rows}, error={self.error})"
 
 
+@dataclass
+class PartitionCacheStats:
+    """Hit/miss/eviction counters of one :class:`PartitionCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    evicted_positions: int = 0
+
+    @property
+    def requests(self) -> int:
+        """Total number of :meth:`PartitionCache.get` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests answered from the cache (0.0 when unused)."""
+        requests = self.hits + self.misses
+        return self.hits / requests if requests else 0.0
+
+
 class PartitionCache:
-    """Memoising cache of stripped partitions for one relation.
+    """Memoising, memory-bounded cache of stripped partitions for one relation.
 
     Attribute combinations are cached by frozenset of attribute names.
-    Combinations are built either directly from the columns (for small sets)
-    or by intersecting cached sub-partitions, whichever is available.
+    Combinations are built either directly from the column encodings (for
+    small sets) or by intersecting cached sub-partitions; when several
+    one-smaller subsets are cached, the one with the fewest groups is chosen
+    as the composition base (fewest groups ⇒ cheapest product).
+
+    Single-attribute partitions (and the empty set) are *pinned*: they are
+    the composition basis, cost ``O(n_rows)`` each, and are never evicted.
+    Multi-attribute partitions live in an LRU keyed on their
+    ``stripped_size``; when ``max_positions`` is set, least-recently-used
+    entries are evicted once the held position total exceeds the budget.
+    Eviction never changes results — evicted partitions are recomputed on
+    demand — and :attr:`stats` reports hits, misses and evictions.
     """
 
-    def __init__(self, relation: Relation) -> None:
+    def __init__(self, relation: Relation, max_positions: int | None = None) -> None:
         self.relation = relation
-        self._cache: dict[frozenset[str], StrippedPartition] = {}
+        #: Budget on the summed ``stripped_size`` of evictable entries
+        #: (``None`` = unbounded).
+        self.max_positions = max_positions
+        self.stats = PartitionCacheStats()
+        self._pinned: dict[frozenset[str], StrippedPartition] = {}
+        self._lru: "OrderedDict[frozenset[str], StrippedPartition]" = OrderedDict()
+        self._held_positions = 0
 
     def get(self, attributes: Iterable[str]) -> StrippedPartition:
         """Return (computing and caching if needed) the partition of ``attributes``."""
         key = frozenset(attributes)
-        cached = self._cache.get(key)
+        cached = self._pinned.get(key)
         if cached is not None:
+            self.stats.hits += 1
             return cached
+        cached = self._lru.get(key)
+        if cached is not None:
+            self.stats.hits += 1
+            self._lru.move_to_end(key)
+            return cached
+        self.stats.misses += 1
         partition = self._compute(key)
-        self._cache[key] = partition
+        self._store(key, partition)
         return partition
 
     def _compute(self, key: frozenset[str]) -> StrippedPartition:
         if len(key) <= 1:
             return StrippedPartition.from_columns(self.relation, sorted(key))
-        # Prefer composing from a cached subset of size |key| - 1 (typical for
-        # level-wise exploration, where all subsets were requested earlier).
+        # Compose from the cached one-smaller subset with the fewest groups
+        # (typical for level-wise exploration, where all subsets were
+        # requested earlier).
+        best_subset: frozenset[str] | None = None
+        best: StrippedPartition | None = None
         for attribute in sorted(key):
             subset = key - {attribute}
-            if subset in self._cache:
-                return self._cache[subset].intersect(self.get([attribute]))
+            partition = self._pinned.get(subset)
+            if partition is None:
+                partition = self._lru.get(subset)
+            if partition is None:
+                continue
+            if best is None or (partition.n_groups, partition.stripped_size) < (
+                best.n_groups,
+                best.stripped_size,
+            ):
+                best_subset, best = subset, partition
+        if best is not None and best_subset is not None:
+            if best_subset in self._lru:
+                self._lru.move_to_end(best_subset)
+            missing = next(iter(key - best_subset))
+            return best.intersect(self.get([missing]))
         # Otherwise build recursively so every prefix ends up cached and can
         # be reused by sibling candidates.
         first = sorted(key)[0]
         return self.get(key - {first}).intersect(self.get([first]))
 
+    def _store(self, key: frozenset[str], partition: StrippedPartition) -> None:
+        if len(key) <= 1:
+            self._pinned[key] = partition
+            return
+        self._lru[key] = partition
+        self._held_positions += partition.stripped_size
+        if self.max_positions is None:
+            return
+        while self._held_positions > self.max_positions and len(self._lru) > 1:
+            _, evicted = self._lru.popitem(last=False)
+            self._held_positions -= evicted.stripped_size
+            self.stats.evictions += 1
+            self.stats.evicted_positions += evicted.stripped_size
+
+    @property
+    def held_positions(self) -> int:
+        """Summed ``stripped_size`` of the evictable (multi-attribute) entries."""
+        return self._held_positions
+
     def __len__(self) -> int:
-        return len(self._cache)
+        return len(self._pinned) + len(self._lru)
 
 
 def fd_holds(relation: Relation, lhs: Iterable[str], rhs: str,
@@ -220,29 +453,62 @@ def fd_holds_fast(
     """Check ``lhs -> rhs`` given the LHS partition, with early exit on violation.
 
     Scans each non-singleton LHS equivalence class and verifies that the RHS
-    value is constant within the class.  This avoids materialising the
-    ``lhs ∪ {rhs}`` partition, which makes the (frequent) *failing* checks of
-    selective mining almost free: the first class with two distinct RHS
-    values aborts the scan.
+    *code* (from the relation's cached column encoding) is constant within
+    the class.  This avoids materialising the ``lhs ∪ {rhs}`` partition,
+    which makes the (frequent) *failing* checks of selective mining almost
+    free: the first class with two distinct RHS values aborts the scan.
     """
-    rhs_idx = relation.schema.index_of(rhs)
-    rows = relation.rows
-    for group in lhs_partition.groups:
-        first_value = rows[group[0]][rhs_idx]
-        for position in group[1:]:
-            if rows[position][rhs_idx] != first_value:
+    codes, _ = relation.column_codes(rhs)
+    positions, offsets = lhs_partition.positions, lhs_partition.offsets
+    start = offsets[0]
+    for group_id in range(1, len(offsets)):
+        end = offsets[group_id]
+        first = codes[positions[start]]
+        for position in positions[start + 1 : end]:
+            if codes[position] != first:
                 return False
+        start = end
     return True
+
+
+def fd_violation_fraction_from_partition(
+    relation: Relation,
+    lhs_partition: StrippedPartition,
+    rhs: str,
+) -> float:
+    """The g3 error of ``lhs -> rhs`` given an already-built LHS partition.
+
+    For every equivalence class of the LHS partition, all rows except those
+    carrying the most frequent RHS value must be removed; g3 is the total
+    number of such removals divided by the relation size.  RHS values are
+    compared through the relation's cached integer codes.
+    """
+    n_rows = len(relation)
+    if not n_rows:
+        return 0.0
+    codes, _ = relation.column_codes(rhs)
+    positions, offsets = lhs_partition.positions, lhs_partition.offsets
+    removals = 0
+    start = offsets[0]
+    for group_id in range(1, len(offsets)):
+        end = offsets[group_id]
+        counts: dict[int, int] = {}
+        get_count = counts.get
+        most_frequent = 0
+        for position in positions[start:end]:
+            code = codes[position]
+            tally = (get_count(code) or 0) + 1
+            counts[code] = tally
+            if tally > most_frequent:
+                most_frequent = tally
+        removals += (end - start) - most_frequent
+        start = end
+    return removals / n_rows
 
 
 def fd_violation_fraction(relation: Relation, lhs: Iterable[str], rhs: str,
                           cache: PartitionCache | None = None) -> float:
-    """The g3 error of ``lhs -> rhs``: fraction of rows to drop for it to hold.
-
-    For every equivalence class of the LHS partition, all rows except those
-    carrying the most frequent RHS value must be removed; g3 is the total
-    number of such removals divided by the relation size.
-    """
+    """The g3 error of ``lhs -> rhs``: fraction of rows to drop for it to hold."""
     lhs = sorted(set(lhs))
     if not len(relation):
         return 0.0
@@ -250,13 +516,4 @@ def fd_violation_fraction(relation: Relation, lhs: Iterable[str], rhs: str,
         return 0.0
     if cache is None:
         cache = PartitionCache(relation)
-    lhs_partition = cache.get(lhs)
-    rhs_idx = relation.schema.index_of(rhs)
-    rows = relation.rows
-    removals = 0
-    for group in lhs_partition.groups:
-        counts: dict[object, int] = defaultdict(int)
-        for position in group:
-            counts[rows[position][rhs_idx]] += 1
-        removals += len(group) - max(counts.values())
-    return removals / len(relation)
+    return fd_violation_fraction_from_partition(relation, cache.get(lhs), rhs)

@@ -12,6 +12,7 @@ can produce them.
 
 from __future__ import annotations
 
+from array import array
 from collections import Counter, defaultdict
 from typing import Any, Callable, Hashable, Iterable, Iterator, Mapping, Sequence
 
@@ -39,7 +40,7 @@ class Relation:
         per schema attribute.
     """
 
-    __slots__ = ("_name", "_schema", "_rows", "_column_index_cache")
+    __slots__ = ("_name", "_schema", "_rows", "_column_index_cache", "_column_codes_cache")
 
     def __init__(
         self,
@@ -63,6 +64,7 @@ class Relation:
         self._schema = schema
         self._rows: tuple[tuple[Any, ...], ...] = tuple(materialised)
         self._column_index_cache: dict[str, dict[Hashable, list[int]]] = {}
+        self._column_codes_cache: dict[str, tuple[array, int, list[int]]] = {}
 
     # -- basic protocol -------------------------------------------------------
     def __len__(self) -> int:
@@ -164,6 +166,76 @@ class Relation:
         for position, row in enumerate(self._rows):
             index[tuple(row[i] for i in idxs)].append(position)
         return dict(index)
+
+    # -- columnar integer encoding --------------------------------------------
+    def column_codes(self, attribute: str) -> tuple[array, int]:
+        """Return ``(codes, n_codes)``: the dense integer encoding of a column.
+
+        ``codes`` is an ``array('q')`` with one entry per row; equal raw
+        values receive equal codes, codes are dense in ``0..n_codes-1`` and
+        assigned in first-appearance order.  The encoding is computed lazily,
+        cached for the lifetime of the (immutable) relation, and shared by
+        every partition/FD primitive so that the hot paths compare machine
+        integers instead of hashing arbitrary Python objects.  ``NULL``
+        participates as an ordinary value (the paper's null-agnostic FD
+        semantics).
+        """
+        return self._encode_column(attribute)[:2]
+
+    def _encode_column(self, attribute: str) -> tuple[array, int, list[int]]:
+        """``(codes, n_codes, counts)`` with per-code occurrence counts.
+
+        Internal variant of :meth:`column_codes` whose counts let the
+        partition kernel skip its counting pass; both share one cache entry.
+        """
+        cached = self._column_codes_cache.get(attribute)
+        if cached is not None:
+            return cached
+        idx = self._schema.index_of(attribute)
+        code_of: dict[Hashable, int] = {}
+        lookup = code_of.get
+        counts: list[int] = []
+        raw: list[int] = []
+        append = raw.append
+        for row in self._rows:
+            value = row[idx]
+            code = lookup(value)
+            if code is None:
+                code = len(code_of)
+                code_of[value] = code
+                counts.append(1)
+            else:
+                counts[code] += 1
+            append(code)
+        encoded = (array("q", raw), len(code_of), counts)
+        self._column_codes_cache[attribute] = encoded
+        return encoded
+
+    def column_code_count(self, attribute: str) -> int:
+        """Number of distinct values of ``attribute`` (via the cached encoding)."""
+        return self.column_codes(attribute)[1]
+
+    def combined_column_codes(self, attributes: Sequence[str]) -> tuple[list[int], int]:
+        """Dense integer codes of the value *combinations* over ``attributes``.
+
+        Folds the per-column encodings with a mixed-radix product, re-densifying
+        after every column so intermediate keys stay bounded by
+        ``n_rows * n_codes`` (integer dictionary lookups only, no tuple
+        hashing).  Returns ``(codes, n_codes)`` like :meth:`column_codes`;
+        combinations are not cached — per-column encodings are.
+        """
+        if not attributes:
+            raise RelationError("combined_column_codes needs at least one attribute")
+        codes, width = self.column_codes(attributes[0])
+        combined = list(codes)
+        for attribute in attributes[1:]:
+            nxt, radix = self.column_codes(attribute)
+            remap: dict[int, int] = {}
+            assign = remap.setdefault
+            for i, code in enumerate(combined):
+                combined[i] = assign(code * radix + nxt[i], len(remap))
+            width = len(remap)
+        return combined, width
 
     # -- derivations ----------------------------------------------------------
     def with_name(self, name: str) -> "Relation":
