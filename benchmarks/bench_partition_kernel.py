@@ -2,23 +2,32 @@
 
 Every partition-based code path — TANE/FUN/HyFD discovery, InFine's
 ``mineFDs`` validation and the g3 approximate checks — bottoms out in the
-four primitives timed here:
+primitives timed here:
 
 * **encode** — building single-attribute stripped partitions from raw columns;
 * **intersect** — the partition product ``π(X) * π(Y)``;
 * **refines** — the refinement test behind ``X -> A`` validity;
-* **g3** — the violation-fraction measure of approximate FDs.
+* **g3** — the violation-fraction measure of approximate FDs;
+* **validate_level** — the batched per-level candidate validation entry
+  point (one vectorized pass per shared LHS partition), timed against the
+  equivalent scalar ``fd_holds_fast`` loop (``validate_scalar``).
 
 The benchmark is a plain script (no pytest dependency) so it can run on any
 checkout and emit comparable numbers::
 
     PYTHONPATH=src python benchmarks/bench_partition_kernel.py --label seed
     PYTHONPATH=src python benchmarks/bench_partition_kernel.py --label columnar
+    PYTHONPATH=src python benchmarks/bench_partition_kernel.py --label vectorized
+    PYTHONPATH=src python benchmarks/bench_partition_kernel.py \
+        --label python-fallback --backend python
 
-Each run is merged under its label into ``BENCH_partitions.json`` (repo root
-by default) so successive PRs accumulate a perf trajectory.  The headline
-number — the one the acceptance criteria compare — is the summed
-``intersect`` + ``refines`` time at the configured scale.
+``--backend`` pins the partition backend (default: the process-wide
+selection, i.e. numpy when importable); the active backend name is recorded
+with each run.  Each run is merged under its label into
+``BENCH_partitions.json`` (repo root by default) so successive PRs
+accumulate a perf trajectory.  The headline number — the one the acceptance
+criteria compare — is the summed ``intersect`` + ``refines`` time at the
+configured scale.
 
 Scale comes from ``REPRO_BENCH_SCALE`` (``tiny``/``small``/``medium``/
 ``large`` or an explicit row count), matching the conventions of the pytest
@@ -39,10 +48,13 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
+from repro.relational.backend import get_backend, use_backend  # noqa: E402
 from repro.relational.partition import (  # noqa: E402
     PartitionCache,
     StrippedPartition,
+    fd_holds_fast,
     fd_violation_fraction,
+    validate_level,
 )
 from repro.relational.relation import Relation  # noqa: E402
 
@@ -135,15 +147,38 @@ def run_bench(n_rows: int, repeats: int = 3) -> dict:
 
     g3_s = _best_of(repeats, g3)
 
+    # Batched candidate validation: every attribute pair partition as LHS,
+    # every remaining attribute as RHS — the shape of one TANE/FUN level.
+    level = [
+        (pair_partition, rhs)
+        for (i, j), pair_partition in zip(
+            ((i, j) for i in range(len(names)) for j in range(i + 1, len(names))),
+            (left.intersect(right) for left, right in pairs),
+        )
+        for rhs in names
+        if rhs not in (names[i], names[j])
+    ]
+    validate_batch_s = _best_of(
+        repeats, lambda: validate_level(relation, level)
+    )
+    validate_scalar_s = _best_of(
+        repeats,
+        lambda: [fd_holds_fast(relation, partition, rhs) for partition, rhs in level],
+    )
+
     return {
         "n_rows": n_rows,
         "n_columns": len(names),
         "pairs": len(pairs),
+        "level_candidates": len(level),
+        "backend": get_backend().name,
         "seconds": {
             "encode": round(encode_s, 6),
             "intersect": round(intersect_s, 6),
             "refines": round(refines_s, 6),
             "g3": round(g3_s, 6),
+            "validate_level": round(validate_batch_s, 6),
+            "validate_scalar": round(validate_scalar_s, 6),
         },
         "headline_intersect_refines": round(intersect_s + refines_s, 6),
     }
@@ -157,10 +192,19 @@ def main(argv: list[str] | None = None) -> None:
                                                 / "BENCH_partitions.json"),
                         help="path of the JSON trajectory file")
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--backend", default=None, choices=("auto", "python", "numpy"),
+        help="pin the partition backend for this run (default: process-wide "
+             "selection — numpy when importable)",
+    )
     args = parser.parse_args(argv)
 
     scale = os.environ.get("REPRO_BENCH_SCALE", "small")
-    result = run_bench(_resolve_rows(scale), repeats=args.repeats)
+    if args.backend is not None:
+        with use_backend(args.backend):
+            result = run_bench(_resolve_rows(scale), repeats=args.repeats)
+    else:
+        result = run_bench(_resolve_rows(scale), repeats=args.repeats)
 
     output = Path(args.output)
     data: dict = {"schema_version": 1, "runs": {}}
@@ -172,7 +216,10 @@ def main(argv: list[str] | None = None) -> None:
     data.setdefault("runs", {})[args.label] = {"scale": scale, **result}
     output.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
-    print(f"[bench_partition_kernel] scale={scale} rows={result['n_rows']}")
+    print(
+        f"[bench_partition_kernel] scale={scale} rows={result['n_rows']} "
+        f"backend={result['backend']}"
+    )
     for op, seconds in result["seconds"].items():
         print(f"  {op:<10} {seconds * 1000:9.2f} ms")
     print(f"  headline (intersect+refines): {result['headline_intersect_refines'] * 1000:.2f} ms")

@@ -1,4 +1,17 @@
 """Setup shim for environments without PEP 660 editable-install support."""
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-infine",
+    version="0.2.0",
+    description="Reproduction of InFine (ICDE 2022): FD profiling of SPJ views",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    extras_require={
+        # Optional vectorized partition backend (``pip install .[fast]``);
+        # the kernel gracefully falls back to the pure-python loops when
+        # numpy is absent (or when REPRO_PARTITION_BACKEND=python).
+        "fast": ["numpy>=1.22"],
+    },
+)

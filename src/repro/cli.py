@@ -30,6 +30,7 @@ from .experiments.figures import fig3_rows, fig4_rows, fig5_rows
 from .experiments.harness import run_full_evaluation
 from .experiments.report import render_csv, render_table
 from .experiments.tables import table1_rows, table2_rows, table3_rows
+from .relational.backend import render_kernel_stats
 
 _COMMANDS = ("table1", "table2", "table3", "fig3", "fig4", "fig5", "views", "all")
 
@@ -63,6 +64,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=Path, default=None,
         help="directory to write CSV results into (tables are always printed)",
     )
+    parser.add_argument(
+        "--kernel-stats", action="store_true",
+        help="print partition-kernel diagnostics after the command: the active "
+             "backend and the aggregate mark-table / partition / combined-codes "
+             "cache hit, miss and eviction counters (off by default so table "
+             "output stays byte-identical across backends)",
+    )
     return parser
 
 
@@ -87,6 +95,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    exit_code = _run_command(args)
+    if args.kernel_stats:
+        print()
+        print(render_kernel_stats())
+    return exit_code
+
+
+def _run_command(args: argparse.Namespace) -> int:
+    """Execute the selected artefact command (tables/figures/views)."""
     scale = _scale(args.scale)
 
     if args.command == "views":

@@ -16,7 +16,7 @@ of FUN compared to TANE's C+ machinery.
 from __future__ import annotations
 
 from ..fd.fd import FD
-from ..relational.partition import PartitionCache
+from ..relational.partition import PartitionCache, validate_level
 from ..relational.relation import Relation
 from .base import DiscoveryStats, FDDiscoveryAlgorithm
 
@@ -65,6 +65,12 @@ class FUN(FDDiscoveryAlgorithm):
         while level and size <= max_lhs:
             stats.levels = size
             free_sets: list[AttributeSet] = []
+            # FD tests of one level are mutually independent (two distinct
+            # same-size LHSs can never dominate each other), so the whole
+            # level is validated as one batch: every surviving RHS candidate
+            # of a free set becomes one (LHS partition, RHS) pair and the
+            # kernel answers all pairs sharing an LHS in a single pass.
+            pending: list[tuple[AttributeSet, str]] = []
             for candidate in level:
                 candidate_card = self._cardinality(candidate, cardinality, cache)
                 # Free-set test: strictly larger cardinality than all subsets.
@@ -84,15 +90,21 @@ class FUN(FDDiscoveryAlgorithm):
                         continue
                     stats.candidates_checked += 1
                     stats.validations += 1
-                    extended = self._cardinality(candidate | {rhs}, cardinality, cache)
-                    if extended == candidate_card:
-                        results.append(FD(candidate, rhs))
-                        minimal_lhs[rhs].append(candidate)
+                    pending.append((candidate, rhs))
                 # Keys need no expansion: any superset FD would be non-minimal.
                 if candidate_card == n_rows:
                     free_sets.pop()
+            if pending:
+                batch = [(cache.get(candidate), rhs) for candidate, rhs in pending]
+                for (candidate, rhs), valid in zip(
+                    pending, validate_level(relation, batch)
+                ):
+                    if valid:
+                        results.append(FD(candidate, rhs))
+                        minimal_lhs[rhs].append(candidate)
             level = self._next_level(free_sets)
             size += 1
+        stats.extra["partition_cache"] = cache.stats.as_dict()
         return results, stats
 
     def _cardinality(

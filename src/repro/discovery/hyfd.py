@@ -87,6 +87,7 @@ class HyFD(FDDiscoveryAlgorithm):
                     seen.add(extended)
                     pending.append(extended)
                 pending.sort(key=lambda s: (len(s), tuple(sorted(s))))
+        stats.extra["partition_cache"] = cache.stats.as_dict()
         return self._minimise(results), stats
 
     # -- phase 1: sampling and induction --------------------------------------

@@ -17,11 +17,16 @@ from ..fd.fd import FD
 from ..relational.partition import (
     StrippedPartition,
     fd_violation_fraction_from_partition,
+    validate_level,
+    validate_level_errors,
 )
 from ..relational.relation import Relation
 from .base import DiscoveryStats, FDDiscoveryAlgorithm
 
 AttributeSet = frozenset[str]
+
+#: One candidate dependency of a lattice level: (candidate set, RHS, LHS).
+LevelCheck = tuple[AttributeSet, str, AttributeSet]
 
 
 class TANE(FDDiscoveryAlgorithm):
@@ -100,17 +105,63 @@ class TANE(FDDiscoveryAlgorithm):
                 rhs_candidates = rhs_candidates & cplus.get(candidate - {attribute}, universe)
             cplus[candidate] = rhs_candidates
 
+        # The RHS iteration sets are snapshotted per candidate before any
+        # validation, and a validation verdict only ever updates the C+ set
+        # of its *own* candidate — so the whole level can be validated as one
+        # batch (one vectorized pass per shared LHS partition on the numpy
+        # backend) and the verdicts applied afterwards in the original order.
+        checks: list[LevelCheck] = []
         for candidate in level:
             for attribute in sorted(candidate & cplus[candidate]):
-                lhs = candidate - {attribute}
-                stats.candidates_checked += 1
-                stats.validations += 1
-                if self._dependency_is_valid(lhs, candidate, attribute, partitions):
-                    results.append(FD(lhs, attribute))
-                    new_rhs = set(cplus[candidate])
-                    new_rhs.discard(attribute)
-                    new_rhs -= universe - candidate
-                    cplus[candidate] = frozenset(new_rhs)
+                checks.append((candidate, attribute, candidate - {attribute}))
+        verdicts = self._validate_level(checks, partitions)
+        for (candidate, attribute, lhs), valid in zip(checks, verdicts):
+            stats.candidates_checked += 1
+            stats.validations += 1
+            if valid:
+                results.append(FD(lhs, attribute))
+                new_rhs = set(cplus[candidate])
+                new_rhs.discard(attribute)
+                new_rhs -= universe - candidate
+                cplus[candidate] = frozenset(new_rhs)
+
+    def _validate_level(
+        self,
+        checks: list[LevelCheck],
+        partitions: dict[AttributeSet, StrippedPartition],
+    ) -> list[bool]:
+        """Validity verdicts for one lattice level's candidates (input order).
+
+        TANE's own walk materialises ``π(candidate)`` for every level member
+        (they seed the next level's products), so exact validity is the O(1)
+        partition-error equality; only checks whose candidate partition is
+        absent (external callers driving the hook directly) fall through to
+        the kernel's batched :func:`validate_level`.  Subclasses customising
+        the scalar :meth:`_dependency_is_valid` hook (without overriding this
+        method) are honoured by per-candidate calls.
+        """
+        if type(self)._dependency_is_valid is not TANE._dependency_is_valid:
+            return [
+                self._dependency_is_valid(lhs, candidate, attribute, partitions)
+                for candidate, attribute, lhs in checks
+            ]
+        verdicts: list[bool] = [False] * len(checks)
+        deferred: list[int] = []
+        for index, (candidate, attribute, lhs) in enumerate(checks):
+            candidate_partition = partitions.get(candidate)
+            if candidate_partition is not None:
+                verdicts[index] = partitions[lhs].error == candidate_partition.error
+            else:
+                deferred.append(index)
+        if deferred:
+            batch = [
+                (partitions[checks[index][2]], checks[index][1]) for index in deferred
+            ]
+            for index, verdict in zip(
+                deferred, validate_level(self._current_relation, batch)
+            ):
+                verdicts[index] = verdict
+        return verdicts
 
     def _dependency_is_valid(
         self,
@@ -196,12 +247,35 @@ class ApproximateTANE(TANE):
             raise ValueError("threshold must be non-negative")
         self.threshold = threshold
 
+    def _validate_level(self, checks, partitions):
+        """Batched g3 validation: exact pass first, then grade the failures.
+
+        The whole level's exact checks run as one batched pass; only the
+        failing candidates pay the (heavier) batched g3 counting, mirroring
+        the scalar fast path of :meth:`_dependency_is_valid`.  A subclass
+        customising the scalar hook keeps driving the validation through it.
+        """
+        if type(self)._dependency_is_valid is not ApproximateTANE._dependency_is_valid:
+            return [
+                self._dependency_is_valid(lhs, candidate, attribute, partitions)
+                for candidate, attribute, lhs in checks
+            ]
+        batch = [(partitions[lhs], attribute) for _, attribute, lhs in checks]
+        verdicts = validate_level(self._current_relation, batch)
+        failing = [index for index, exact in enumerate(verdicts) if not exact]
+        errors = validate_level_errors(
+            self._current_relation, [batch[index] for index in failing]
+        )
+        for index, error in zip(failing, errors):
+            verdicts[index] = error <= self.threshold
+        return verdicts
+
     def _dependency_is_valid(self, lhs, candidate, attribute, partitions):
         """Accept the dependency when its exact g3 error is within the threshold.
 
         Reuses the LHS partition already held by the lattice walk and the
         relation's cached column codes instead of rebuilding a partition
-        cache per check.
+        cache per check.  (Scalar twin of the batched :meth:`_validate_level`.)
         """
         if partitions[lhs].error == partitions[candidate].error:
             return True

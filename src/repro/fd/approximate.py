@@ -16,7 +16,7 @@ from typing import Iterable, Iterator
 from ..relational.partition import (
     PartitionCache,
     fd_violation_fraction,
-    fd_violation_fraction_from_partition,
+    validate_level_errors,
 )
 from ..relational.relation import Relation
 from .fd import FD
@@ -88,24 +88,27 @@ def approximate_fds(
     for size in range(1, max_lhs + 1):
         for lhs in combinations(sorted(names), size):
             lhs_set = frozenset(lhs)
-            # One LHS partition serves every RHS candidate of this row of the
-            # lattice (built on first use); the g3 probes then only read
-            # cached column codes.
-            lhs_partition = None
-            for rhs in names:
-                if rhs in lhs_set:
-                    continue
-                # Skip non-minimal candidates: a subset already is exact or
-                # within threshold for this RHS.
-                if any(previous <= lhs_set for previous in exact_or_afd[rhs]):
-                    continue
-                if lhs_partition is None and len(relation):
-                    lhs_partition = cache.get(lhs)
-                error = (
-                    fd_violation_fraction_from_partition(relation, lhs_partition, rhs)
-                    if lhs_partition is not None
-                    else 0.0
+            # Skip non-minimal candidates: a subset already is exact or
+            # within threshold for this RHS.  Minimality knowledge only ever
+            # comes from strictly smaller LHSs, so the surviving RHSs of one
+            # LHS can be graded as a single batch — one LHS partition (built
+            # on first use), one vectorized g3 pass over its groups.
+            rhs_batch = [
+                rhs
+                for rhs in names
+                if rhs not in lhs_set
+                and not any(previous <= lhs_set for previous in exact_or_afd[rhs])
+            ]
+            if not rhs_batch:
+                continue
+            if len(relation):
+                lhs_partition = cache.get(lhs)
+                errors = validate_level_errors(
+                    relation, [(lhs_partition, rhs) for rhs in rhs_batch]
                 )
+            else:
+                errors = [0.0] * len(rhs_batch)
+            for rhs, error in zip(rhs_batch, errors):
                 if error == 0.0:
                     exact_or_afd[rhs].append(lhs_set)
                     continue

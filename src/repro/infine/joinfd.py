@@ -17,7 +17,12 @@ discovery of the straightforward approach by combining three prunings:
 
 Only when a candidate survives all three prunings is the (partial) join
 materialised — lazily, once — and the candidate checked with stripped
-partitions.
+partitions.  Data validations run on the pluggable partition backend
+(``fd_holds_fast`` probes the LHS partition's groups against the cached RHS
+column codes — a boolean-mask pass on the numpy fast path, an early-exit
+scan on the pure-python fallback); candidates here are validated one by one
+because each verdict feeds the Armstrong/domination prunings of the very
+next candidate, unlike the independent levels batched by TANE/FUN.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from typing import Iterable, Sequence
 from ..fd.closure import FDIndex
 from ..fd.fd import FD
 from ..relational.algebra import JoinKind, equi_join
+from ..relational.backend import get_backend
 from ..relational.partition import PartitionCache, fd_holds_fast
 from ..relational.relation import Relation
 from .provenance import FDType, ProvenanceTriple
@@ -52,6 +58,12 @@ class JoinMiningOutcome:
     partial_join_rows: int = 0
     #: The materialised partial join, if any (reused by the engine for enclosing nodes).
     joined: Relation | None = None
+    #: Hit/miss/eviction counters of the join's bounded :class:`PartitionCache`
+    #: (``None`` when the join was never materialised), reported alongside the
+    #: partition backend that executed the validations.
+    partition_cache_stats: dict | None = None
+    #: Name of the partition backend active during the mining.
+    partition_backend: str = ""
 
 
 def mine_join_fds(
@@ -243,6 +255,9 @@ def mine_join_fds(
             size += 1
 
     outcome.fds = sorted(found, key=FD.sort_key)
+    outcome.partition_backend = get_backend().name
+    if cache is not None:
+        outcome.partition_cache_stats = cache.stats.as_dict()
     return outcome
 
 

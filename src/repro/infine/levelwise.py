@@ -7,7 +7,9 @@ minimal FDs that hold on the reduced instance, pruning the candidates that
 are already implied by the FDs known to hold on the *unreduced* input.
 
 The exploration is the level-wise lattice walk of the paper (a TANE-style
-traversal with stripped partitions); the known FDs feed two prunings:
+traversal with stripped partitions, inheriting TANE's batched per-level
+candidate validation on the active partition backend); the known FDs feed
+two prunings:
 
 * candidates implied by known FDs are skipped (lines #8–9 of Algorithm 2 and
   #18–19 of Algorithm 3), and

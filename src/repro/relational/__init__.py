@@ -19,9 +19,20 @@ The discovery/validation hot path is columnar:
   tuples-of-tuples.  ``intersect`` and ``refines`` are single-pass probe
   algorithms: the side with the smaller ``||π||`` is probed against a
   reusable row -> group-id mark table of the other side (TANE's linear
-  partition product); mark tables are amortised across calls by a small
-  bounded cache.  ``fd_holds_fast`` / ``fd_violation_fraction`` scan LHS
-  groups against the cached RHS column codes with early exit.
+  partition product); mark tables are amortised across calls by the
+  relation-scoped byte-budgeted :class:`~repro.relational.backend.MarkTableCache`.
+  ``fd_holds_fast`` / ``fd_violation_fraction`` scan LHS groups against the
+  cached RHS column codes with early exit.
+* **Pluggable backends** — every probe loop lives behind the
+  :class:`~repro.relational.backend.PartitionBackend` interface with a
+  pure-python implementation and a vectorized numpy fast path
+  (auto-selected when numpy is importable, forced via
+  ``REPRO_PARTITION_BACKEND``).  Both backends are bit-compatible:
+  identical group orders, code assignments and verdicts.
+* **Batched validation** — :func:`validate_level` /
+  :func:`validate_level_errors` answer a whole lattice level's candidate
+  checks with one vectorized pass per shared LHS partition; TANE, FUN,
+  ApproximateTANE and the AFD profiler feed their levels through it.
 * **Partition caching** — :class:`PartitionCache` memoises partitions per
   attribute set with hit/miss/eviction statistics, pins the single-attribute
   basis, composes new combinations from the cached subset with the fewest
@@ -42,6 +53,16 @@ from .algebra import (
     select,
     union,
 )
+from .backend import (
+    MarkTableCache,
+    NumpyBackend,
+    PartitionBackend,
+    PythonBackend,
+    get_backend,
+    numpy_available,
+    set_backend,
+    use_backend,
+)
 from .csv_io import load_catalog, load_csv, save_catalog, save_csv
 from .partition import (
     PartitionCache,
@@ -51,6 +72,8 @@ from .partition import (
     fd_holds_fast,
     fd_violation_fraction,
     fd_violation_fraction_from_partition,
+    validate_level,
+    validate_level_errors,
 )
 from .predicates import (
     And,
@@ -120,10 +143,20 @@ __all__ = [
     "StrippedPartition",
     "PartitionCache",
     "PartitionCacheStats",
+    "PartitionBackend",
+    "PythonBackend",
+    "NumpyBackend",
+    "MarkTableCache",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "numpy_available",
     "fd_holds",
     "fd_holds_fast",
     "fd_violation_fraction",
     "fd_violation_fraction_from_partition",
+    "validate_level",
+    "validate_level_errors",
     "ViewSpec",
     "BaseRelationSpec",
     "ProjectSpec",

@@ -1,0 +1,827 @@
+"""Pluggable vectorized backends for the partition kernel.
+
+The probe loops of the stripped-partition kernel (grouping, partition
+product, refinement, g3 counting) bottom out in a handful of primitives over
+flat integer arrays.  This module isolates those primitives behind a
+:class:`PartitionBackend` interface with two interchangeable
+implementations:
+
+* :class:`PythonBackend` — the pure-python ``list``/``array('q')`` loops of
+  the columnar kernel (always available, no dependencies);
+* :class:`NumpyBackend` — a vectorized fast path built on ``np.argsort`` /
+  factorize-style grouping and boolean-mask probes, auto-selected whenever
+  numpy is importable.
+
+Both backends are **bit-compatible**: group order (first-value-appearance),
+position order inside groups (ascending probe order) and dense-code
+assignment (first-appearance factorisation) are identical, so every
+downstream artefact — discovered FD sets, CLI tables, provenance triples —
+is byte-identical regardless of the active backend.
+
+Selection
+---------
+``get_backend()`` resolves the process-wide backend once:
+
+* the ``REPRO_PARTITION_BACKEND`` environment variable forces ``python`` or
+  ``numpy`` explicitly (``auto`` restores the default);
+* otherwise numpy is used when importable, with a graceful fallback to the
+  pure-python loops (install the ``fast`` extra — ``pip install .[fast]`` —
+  to guarantee the vectorized path).
+
+``use_backend()`` is a context manager for tests and benchmarks that need to
+pin a backend temporarily.
+
+The module also hosts the relation-scoped, byte-budgeted
+:class:`MarkTableCache` (the reusable row -> group-id scratch tables of the
+probe algorithms) and the process-wide :class:`KernelCounters` that the
+discovery algorithms snapshot into ``DiscoveryStats.extra``.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from .relation import Relation
+
+try:  # pragma: no cover - exercised via the fallback tests
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container always ships numpy
+    _np = None
+
+#: Environment variable forcing the backend (``python`` / ``numpy`` / ``auto``).
+BACKEND_ENV_VAR = "REPRO_PARTITION_BACKEND"
+
+#: Environment variable overriding the mark-table cache budget in bytes.
+MARKS_BUDGET_ENV_VAR = "REPRO_MARKS_CACHE_BYTES"
+
+#: Default mark-table budget: sixteen ~1M-row tables at 8 bytes per row.
+DEFAULT_MARKS_BUDGET_BYTES = 128 * 1024 * 1024
+
+#: Environment variable overriding the combined-codes prefix cache size.
+COMBINED_CACHE_ENV_VAR = "REPRO_COMBINED_CODES_CACHE_ENTRIES"
+
+#: Default number of combined-code prefixes cached per relation.
+DEFAULT_COMBINED_CACHE_ENTRIES = 16
+
+
+# ---------------------------------------------------------------------------
+# Process-wide kernel counters (snapshotted into DiscoveryStats.extra).
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class KernelCounters:
+    """Aggregate hit/miss/eviction counters of every kernel-level cache.
+
+    One process-wide instance (:data:`KERNEL_COUNTERS`) is incremented by all
+    :class:`MarkTableCache` and ``PartitionCache`` instances and by the
+    per-relation combined-codes prefix caches, so a snapshot/delta pair
+    brackets exactly the kernel work of one discovery run.
+    """
+
+    mark_hits: int = 0
+    mark_misses: int = 0
+    mark_evictions: int = 0
+    mark_evicted_bytes: int = 0
+    partition_hits: int = 0
+    partition_misses: int = 0
+    partition_evictions: int = 0
+    partition_evicted_positions: int = 0
+    combined_prefix_hits: int = 0
+    combined_prefix_misses: int = 0
+    combined_prefix_evictions: int = 0
+    batched_levels: int = 0
+    batched_candidates: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """The current counter values as a plain dictionary."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def delta(self, before: dict[str, int]) -> dict[str, int]:
+        """Counter increments since ``before`` (a previous :meth:`snapshot`)."""
+        return {key: value - before.get(key, 0) for key, value in self.snapshot().items()}
+
+
+#: The process-wide kernel counters.
+KERNEL_COUNTERS = KernelCounters()
+
+
+# ---------------------------------------------------------------------------
+# Backend implementations.
+# ---------------------------------------------------------------------------
+
+
+class PartitionBackend:
+    """Interface of the flat-array probe primitives.
+
+    ``positions``/``offsets`` use the flat stripped-partition layout: group
+    ``i`` is ``positions[offsets[i]:offsets[i + 1]]``.  ``codes`` are dense
+    per-row integer encodings (``array('q')``, ``list`` or ``np.ndarray``);
+    ``marks`` map row position -> group id (``-1`` for stripped singletons).
+    Each backend stores arrays in its native representation but accepts the
+    other's as input, so partitions built under different backends compose.
+    """
+
+    name = "abstract"
+
+    # -- construction ---------------------------------------------------------
+    def adopt_flat(self, positions: Sequence[int], offsets: Sequence[int]):
+        """Convert externally built flat lists into the native representation."""
+        raise NotImplementedError
+
+    def encode_columns(self, relation: "Relation", attributes: Sequence[str]):
+        """``(codes, n_codes)`` of the value combinations over ``attributes``.
+
+        Delegates to the relation's cached per-column encodings and the
+        backend's :meth:`combine_codes` fold (via
+        :meth:`Relation.combined_column_codes`, which also caches hot
+        prefixes).
+        """
+        if len(attributes) == 1:
+            codes, n_codes = relation.column_codes(attributes[0])
+            return self.as_codes(codes), n_codes
+        codes, n_codes = relation.combined_column_codes(attributes)
+        return self.as_codes(codes), n_codes
+
+    def initial_codes(self, codes):
+        """A mutable/foldable copy of one column's cached codes."""
+        raise NotImplementedError
+
+    def as_codes(self, codes):
+        """View ``codes`` (``array('q')``/``list``/ndarray) in native form."""
+        raise NotImplementedError
+
+    def combine_codes(self, combined, width: int, nxt, radix: int):
+        """One densifying mixed-radix fold step.
+
+        Returns ``(codes, width)`` where equal ``(combined, nxt)`` pairs
+        receive equal dense codes assigned in first-appearance order (the
+        invariant that keeps both backends bit-compatible).  Never mutates
+        ``combined`` (results are shared through the prefix cache).
+        """
+        raise NotImplementedError
+
+    def group_by_codes(self, codes, n_codes: int, counts: Sequence[int] | None = None):
+        """Counting-sort ``codes`` into flat ``(positions, offsets)``.
+
+        Groups appear in ascending code order (== first-appearance order of
+        the encodings); positions within a group ascend; singleton codes are
+        stripped.  ``counts`` (per-code occurrence counts) is an optional
+        precomputed hint.
+        """
+        raise NotImplementedError
+
+    def build_marks(self, positions, offsets, n_rows: int):
+        """Row position -> group id (or ``-1``) mark table of a partition."""
+        raise NotImplementedError
+
+    # -- probes ---------------------------------------------------------------
+    def intersect_marks(self, positions, offsets, marks, n_marks: int):
+        """Probe one partition's groups against ``marks`` (partition product).
+
+        Output groups appear probe-group by probe-group, sub-buckets in
+        first-appearance-of-mark order, positions in probe order — the exact
+        emission order of the pure-python dict-bucket product.
+        """
+        raise NotImplementedError
+
+    def refines_marks(self, positions, offsets, marks) -> bool:
+        """Whether every group maps into a single non-singleton mark class."""
+        raise NotImplementedError
+
+    def constant_within_groups(self, positions, offsets, codes) -> bool:
+        """Whether ``codes`` is constant inside every group (FD validity)."""
+        raise NotImplementedError
+
+    def g3_removals(self, positions, offsets, codes) -> int:
+        """Rows to delete so ``codes`` becomes constant within every group."""
+        raise NotImplementedError
+
+    # -- batched probes (one LHS partition, many RHS columns) -----------------
+    def batch_constant_within_groups(self, positions, offsets, codes_list) -> list[bool]:
+        """Vectorizable batch of :meth:`constant_within_groups` checks."""
+        return [
+            self.constant_within_groups(positions, offsets, codes)
+            for codes in codes_list
+        ]
+
+    def batch_g3_removals(self, positions, offsets, codes_list) -> list[int]:
+        """Vectorizable batch of :meth:`g3_removals` counts."""
+        return [self.g3_removals(positions, offsets, codes) for codes in codes_list]
+
+
+class PythonBackend(PartitionBackend):
+    """The pure-python columnar kernel (reference semantics, no dependencies)."""
+
+    name = "python"
+
+    def adopt_flat(self, positions, offsets):
+        return list(positions), list(offsets)
+
+    def initial_codes(self, codes):
+        return list(codes)
+
+    def as_codes(self, codes):
+        return codes
+
+    def combine_codes(self, combined, width, nxt, radix):
+        remap: dict[int, int] = {}
+        assign = remap.setdefault
+        out = [0] * len(combined)
+        for i, code in enumerate(combined):
+            out[i] = assign(code * radix + nxt[i], len(remap))
+        return out, len(remap)
+
+    def group_by_codes(self, codes, n_codes, counts=None):
+        if counts is None:
+            counts = [0] * n_codes
+            for code in codes:
+                counts[code] += 1
+        buckets: list[list[int] | None] = [
+            [] if count > 1 else None for count in counts
+        ]
+        positions: list[int] = []
+        offsets: list[int] = [0]
+        for position, code in enumerate(codes):
+            bucket = buckets[code]
+            if bucket is not None:
+                bucket.append(position)
+        for bucket in buckets:
+            if bucket is not None:
+                positions.extend(bucket)
+                offsets.append(len(positions))
+        return positions, offsets
+
+    def build_marks(self, positions, offsets, n_rows):
+        marks = [-1] * n_rows
+        start = offsets[0]
+        for group_id in range(1, len(offsets)):
+            end = offsets[group_id]
+            mark = group_id - 1
+            for position in positions[start:end]:
+                marks[position] = mark
+            start = end
+        return marks
+
+    def intersect_marks(self, positions, offsets, marks, n_marks):
+        out_positions: list[int] = []
+        out_offsets: list[int] = [0]
+        extend = out_positions.extend
+        close_group = out_offsets.append
+        start = offsets[0]
+        for group_id in range(1, len(offsets)):
+            end = offsets[group_id]
+            buckets: dict[int, list[int]] = {}
+            get_bucket = buckets.get
+            for position in positions[start:end]:
+                mark = marks[position]
+                if mark >= 0:
+                    bucket = get_bucket(mark)
+                    if bucket is None:
+                        buckets[mark] = [position]
+                    else:
+                        bucket.append(position)
+            start = end
+            for bucket in buckets.values():
+                if len(bucket) > 1:
+                    extend(bucket)
+                    close_group(len(out_positions))
+        return out_positions, out_offsets
+
+    def refines_marks(self, positions, offsets, marks):
+        start = offsets[0]
+        for group_id in range(1, len(offsets)):
+            end = offsets[group_id]
+            first = marks[positions[start]]
+            if first < 0:
+                # The leading position is a singleton of the mark side, yet
+                # its class here has at least two members: the class splits.
+                return False
+            for position in positions[start + 1 : end]:
+                if marks[position] != first:
+                    return False
+            start = end
+        return True
+
+    def constant_within_groups(self, positions, offsets, codes):
+        start = offsets[0]
+        for group_id in range(1, len(offsets)):
+            end = offsets[group_id]
+            first = codes[positions[start]]
+            for position in positions[start + 1 : end]:
+                if codes[position] != first:
+                    return False
+            start = end
+        return True
+
+    def g3_removals(self, positions, offsets, codes):
+        removals = 0
+        start = offsets[0]
+        for group_id in range(1, len(offsets)):
+            end = offsets[group_id]
+            counts: dict[int, int] = {}
+            get_count = counts.get
+            most_frequent = 0
+            for position in positions[start:end]:
+                code = codes[position]
+                tally = (get_count(code) or 0) + 1
+                counts[code] = tally
+                if tally > most_frequent:
+                    most_frequent = tally
+            removals += (end - start) - most_frequent
+            start = end
+        return removals
+
+
+class NumpyBackend(PartitionBackend):
+    """Vectorized probe primitives over ``np.int64`` arrays.
+
+    Every primitive reproduces the python backend's ordering exactly:
+    grouping keeps first-appearance group order via a stable
+    first-occurrence factorisation, and the partition product emits buckets
+    in (probe group, first appearance of mark) order.
+    """
+
+    name = "numpy"
+
+    def __init__(self) -> None:
+        if _np is None:  # pragma: no cover - guarded by the resolver
+            raise RuntimeError("numpy is not importable; use the python backend")
+
+    # -- representation helpers ----------------------------------------------
+    @staticmethod
+    def _as_array(values):
+        if isinstance(values, _np.ndarray):
+            return values if values.dtype == _np.int64 else values.astype(_np.int64)
+        if isinstance(values, array) and values.typecode == "q":
+            # array('q') shares int64 layout: zero-copy (read-only) view.
+            return _np.frombuffer(values, dtype=_np.int64)
+        return _np.asarray(values, dtype=_np.int64)
+
+    @staticmethod
+    def _stable_order(keys, bound: int):
+        """Indices sorting the non-negative ``keys`` stably (ties by position).
+
+        numpy's ``kind="stable"`` radix sort carries a high fixed cost per
+        call; composing ``key * n + index`` makes every key unique so the
+        (much faster) default introsort yields the identical stable order.
+        ``bound`` is an exclusive upper bound on the key values, used to
+        prove the composition cannot overflow ``int64``; pathological key
+        spaces fall back to the stable sort.
+        """
+        n = keys.shape[0]
+        if n == 0:
+            return _np.empty(0, dtype=_np.int64)
+        if bound < (2**62) // (n + 1):
+            composite = keys * _np.int64(n) + _np.arange(n, dtype=_np.int64)
+            return composite.argsort()
+        return keys.argsort(kind="stable")
+
+    @classmethod
+    def _run_starts(cls, sorted_keys):
+        """Start indices of the equal-key runs of an already sorted array."""
+        n = sorted_keys.shape[0]
+        boundary = _np.empty(n, dtype=bool)
+        boundary[0] = True
+        _np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=boundary[1:])
+        return _np.flatnonzero(boundary)
+
+    @classmethod
+    def _factorize_first_appearance(cls, keys, bound: int):
+        """Dense codes of ``keys`` assigned in first-appearance order.
+
+        Matches the python dict-``setdefault`` fold bit for bit: the first
+        occurrence of a key (scanning left to right) fixes its code.
+        """
+        n = keys.shape[0]
+        if n == 0:
+            return keys.copy(), 0
+        perm = cls._stable_order(keys, bound)
+        starts = cls._run_starts(keys[perm])
+        # Stable order ⇒ the first element of each run carries the smallest
+        # original index, i.e. the key's first appearance.  First-occurrence
+        # indices are distinct, so a plain introsort ranks them.
+        order = perm[starts].argsort()
+        rank = _np.empty(starts.shape[0], dtype=_np.int64)
+        rank[order] = _np.arange(starts.shape[0], dtype=_np.int64)
+        run_of_element = _np.zeros(n, dtype=_np.int64)
+        run_of_element[starts[1:]] = 1
+        run_of_element = _np.cumsum(run_of_element)
+        codes = _np.empty(n, dtype=_np.int64)
+        codes[perm] = rank[run_of_element]
+        return codes, int(starts.shape[0])
+
+    # -- construction ---------------------------------------------------------
+    def adopt_flat(self, positions, offsets):
+        return (
+            _np.asarray(positions, dtype=_np.int64),
+            _np.asarray(offsets, dtype=_np.int64),
+        )
+
+    def initial_codes(self, codes):
+        return self._as_array(codes)
+
+    def as_codes(self, codes):
+        return self._as_array(codes)
+
+    def combine_codes(self, combined, width, nxt, radix):
+        keys = self._as_array(combined) * _np.int64(radix) + self._as_array(nxt)
+        return self._factorize_first_appearance(keys, max(width, 1) * max(radix, 1))
+
+    def group_by_codes(self, codes, n_codes, counts=None):
+        codes = self._as_array(codes)
+        if counts is not None:
+            # Adopting the relation's precomputed per-code counts is
+            # O(n_codes) versus the O(n_rows) counting pass below.
+            counts = self._as_array(counts)
+        elif codes.size:
+            counts = _np.bincount(codes, minlength=n_codes)
+        else:
+            counts = _np.zeros(n_codes, dtype=_np.int64)
+        order = self._stable_order(codes, max(n_codes, 1))
+        keep_group = counts > 1
+        positions = order[keep_group[codes[order]]]
+        sizes = counts[keep_group]
+        offsets = _np.concatenate(
+            (_np.zeros(1, dtype=_np.int64), _np.cumsum(sizes, dtype=_np.int64))
+        )
+        return positions, offsets
+
+    def build_marks(self, positions, offsets, n_rows):
+        positions = self._as_array(positions)
+        offsets = self._as_array(offsets)
+        marks = _np.full(n_rows, -1, dtype=_np.int64)
+        sizes = _np.diff(offsets)
+        marks[positions] = _np.repeat(
+            _np.arange(sizes.shape[0], dtype=_np.int64), sizes
+        )
+        return marks
+
+    # -- probes ---------------------------------------------------------------
+    def intersect_marks(self, positions, offsets, marks, n_marks):
+        positions = self._as_array(positions)
+        offsets = self._as_array(offsets)
+        marks = self._as_array(marks)
+        probe_marks = marks[positions]
+        sizes = offsets[1:] - offsets[:-1]
+        group_ids = _np.repeat(_np.arange(sizes.shape[0], dtype=_np.int64), sizes)
+        valid = probe_marks >= 0
+        radix = _np.int64(max(n_marks, 1))
+        # (probe group, mark) buckets; the flat probe array is ordered group
+        # by group, so ordering buckets by first appearance yields exactly
+        # the python emission order: probe groups ascending, marks by first
+        # appearance inside each group, positions in probe (ascending) order.
+        if bool(valid.all()):
+            keys = group_ids * radix + probe_marks
+            survivors = positions
+        else:
+            keys = group_ids[valid] * radix + probe_marks[valid]
+            survivors = positions[valid]
+        empty = (_np.empty(0, dtype=_np.int64), _np.zeros(1, dtype=_np.int64))
+        if keys.size == 0:
+            return empty
+        perm = self._stable_order(keys, int(sizes.shape[0]) * int(radix))
+        starts = self._run_starts(keys[perm])
+        counts = _np.empty(starts.shape[0], dtype=_np.int64)
+        counts[:-1] = starts[1:] - starts[:-1]
+        counts[-1] = keys.size - starts[-1]
+        # Singleton buckets are stripped from the product, so only the kept
+        # buckets need the first-appearance ordering (their relative order is
+        # unchanged by dropping singletons); first-occurrence indices are
+        # distinct, so a plain introsort over the few survivors orders them.
+        keep = _np.flatnonzero(counts > 1)
+        if keep.size == 0:
+            return empty
+        kept = keep[perm[starts[keep]].argsort()]
+        out_sizes = counts[kept]
+        out_offsets = _np.concatenate(
+            (_np.zeros(1, dtype=_np.int64), _np.cumsum(out_sizes, dtype=_np.int64))
+        )
+        # Gather each kept bucket's (contiguous) slice of the sorted order.
+        flat = _np.repeat(starts[kept] - out_offsets[:-1], out_sizes) + _np.arange(
+            out_offsets[-1], dtype=_np.int64
+        )
+        out_positions = survivors[perm[flat]]
+        return out_positions, out_offsets
+
+    def refines_marks(self, positions, offsets, marks):
+        positions = self._as_array(positions)
+        offsets = self._as_array(offsets)
+        group_marks = self._as_array(marks)[positions]
+        firsts = group_marks[offsets[:-1]]
+        if firsts.size and bool((firsts < 0).any()):
+            return False
+        sizes = _np.diff(offsets)
+        return bool((group_marks == _np.repeat(firsts, sizes)).all())
+
+    def constant_within_groups(self, positions, offsets, codes):
+        positions = self._as_array(positions)
+        offsets = self._as_array(offsets)
+        codes = self._as_array(codes)
+        starts = offsets[:-1]
+        return self._constant_prepared(
+            positions, offsets, codes,
+            positions[starts], positions[starts + 1],
+        )
+
+    @staticmethod
+    def _constant_prepared(positions, offsets, codes, first_rows, second_rows):
+        """Constancy check with a cheap vectorized early reject.
+
+        A violated candidate almost always differs already between the first
+        two members of some group, so an ``O(n_groups)`` comparison rejects
+        it without touching the full ``O(||π||)`` expansion — the vectorized
+        analogue of the python backend's early-exit scan.
+        """
+        firsts = codes[first_rows]
+        if bool((firsts != codes[second_rows]).any()):
+            return False
+        sizes = offsets[1:] - offsets[:-1]
+        return bool((codes[positions] == _np.repeat(firsts, sizes)).all())
+
+    def g3_removals(self, positions, offsets, codes):
+        positions = self._as_array(positions)
+        offsets = self._as_array(offsets)
+        return self._g3_removals_prepared(
+            positions, offsets, self._as_array(codes), self._group_ids(offsets)
+        )
+
+    @staticmethod
+    def _group_ids(offsets):
+        sizes = _np.diff(offsets)
+        return _np.repeat(_np.arange(sizes.shape[0], dtype=_np.int64), sizes)
+
+    @staticmethod
+    def _g3_removals_prepared(positions, offsets, codes, group_ids):
+        if positions.size == 0:
+            return 0
+        group_codes = codes[positions]
+        radix = _np.int64(int(group_codes.max()) + 1) if group_codes.size else _np.int64(1)
+        keys = group_ids * radix + group_codes
+        unique_keys, counts = _np.unique(keys, return_counts=True)
+        owner = unique_keys // radix
+        starts = _np.flatnonzero(
+            _np.concatenate((_np.ones(1, dtype=bool), owner[1:] != owner[:-1]))
+        )
+        best = _np.maximum.reduceat(counts, starts)
+        return int(positions.size - best.sum())
+
+    # -- batched probes -------------------------------------------------------
+    def batch_constant_within_groups(self, positions, offsets, codes_list):
+        if not codes_list:
+            return []
+        positions = self._as_array(positions)
+        offsets = self._as_array(offsets)
+        if positions.size == 0:
+            return [True] * len(codes_list)
+        # The per-group gather indices are shared by every RHS of the batch:
+        # compute them once, then each candidate pays only its own (cheap)
+        # prescreen plus — for the surviving candidates — one full compare.
+        starts = offsets[:-1]
+        first_rows = positions[starts]
+        second_rows = positions[starts + 1]
+        return [
+            self._constant_prepared(
+                positions, offsets, self._as_array(codes), first_rows, second_rows
+            )
+            for codes in codes_list
+        ]
+
+    def batch_g3_removals(self, positions, offsets, codes_list):
+        if not codes_list:
+            return []
+        positions = self._as_array(positions)
+        offsets = self._as_array(offsets)
+        group_ids = self._group_ids(offsets)
+        return [
+            self._g3_removals_prepared(
+                positions, offsets, self._as_array(codes), group_ids
+            )
+            for codes in codes_list
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Backend selection.
+# ---------------------------------------------------------------------------
+
+_ACTIVE_BACKEND: PartitionBackend | None = None
+
+
+def _resolve_backend(choice: str) -> PartitionBackend:
+    choice = (choice or "auto").strip().lower()
+    if choice in ("auto", ""):
+        return NumpyBackend() if _np is not None else PythonBackend()
+    if choice == "python":
+        return PythonBackend()
+    if choice == "numpy":
+        if _np is None:
+            raise RuntimeError(
+                "REPRO_PARTITION_BACKEND=numpy but numpy is not importable; "
+                "install the 'fast' extra (pip install .[fast]) or use auto/python"
+            )
+        return NumpyBackend()
+    raise ValueError(
+        f"unknown partition backend {choice!r}: expected auto, python or numpy"
+    )
+
+
+def get_backend() -> PartitionBackend:
+    """The process-wide partition backend (resolved once, lazily)."""
+    global _ACTIVE_BACKEND
+    if _ACTIVE_BACKEND is None:
+        _ACTIVE_BACKEND = _resolve_backend(os.environ.get(BACKEND_ENV_VAR, "auto"))
+    return _ACTIVE_BACKEND
+
+
+def set_backend(backend: PartitionBackend | str | None) -> PartitionBackend | None:
+    """Force the active backend (name or instance); returns the previous one.
+
+    Passing ``None`` resets to lazy environment-based resolution.
+    """
+    global _ACTIVE_BACKEND
+    previous = _ACTIVE_BACKEND
+    if backend is None:
+        _ACTIVE_BACKEND = None
+    elif isinstance(backend, str):
+        _ACTIVE_BACKEND = _resolve_backend(backend)
+    else:
+        _ACTIVE_BACKEND = backend
+    return previous
+
+
+@contextmanager
+def use_backend(backend: PartitionBackend | str) -> Iterator[PartitionBackend]:
+    """Temporarily pin the active backend (tests / benchmarks)."""
+    previous = set_backend(backend)
+    try:
+        yield get_backend()
+    finally:
+        global _ACTIVE_BACKEND
+        _ACTIVE_BACKEND = previous
+
+
+def numpy_available() -> bool:
+    """Whether the numpy fast path can be selected in this process."""
+    return _np is not None
+
+
+# ---------------------------------------------------------------------------
+# Relation-scoped, byte-budgeted mark-table cache.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MarkCacheStats:
+    """Hit/miss/eviction counters of one :class:`MarkTableCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    evicted_bytes: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        requests = self.hits + self.misses
+        return self.hits / requests if requests else 0.0
+
+    def as_dict(self) -> dict[str, int | float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "evicted_bytes": self.evicted_bytes,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+def _default_marks_budget() -> int:
+    raw = os.environ.get(MARKS_BUDGET_ENV_VAR)
+    if raw:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            pass
+    return DEFAULT_MARKS_BUDGET_BYTES
+
+
+class MarkTableCache:
+    """LRU cache of row -> group-id mark tables, bounded by a byte budget.
+
+    ``intersect``/``refines`` probe one partition against the marks of
+    another; level-wise exploration reuses the same partitions as the mark
+    side over and over (TANE intersects every candidate with
+    single-attribute partitions; refinement checks sweep one RHS partition
+    across many LHSs), so cached mark tables amortise the ``O(n_rows)``
+    marking pass to near zero.
+
+    Each relation owns one instance (see ``Relation.mark_cache``), so caches
+    are *relation-scoped*: a large relation cannot thrash the tables of
+    another, and the cache dies with the relation.  A mark table is
+    accounted at ``8 * n_rows`` bytes (one machine word per row — exact for
+    the numpy backend, a close proxy for python lists); least-recently-used
+    tables are evicted once the held total exceeds ``budget_bytes``
+    (default ``REPRO_MARKS_CACHE_BYTES`` or 128 MiB ≈ sixteen 1M-row
+    relations).  The most recent table is never evicted, so a single
+    over-budget relation still amortises its own probes.  Entries hold a
+    strong reference to their partition, which keeps the ``id()`` key valid.
+    """
+
+    __slots__ = ("budget_bytes", "stats", "_entries", "_held_bytes")
+
+    def __init__(self, budget_bytes: int | None = None) -> None:
+        #: Byte budget of the held mark tables (``None`` -> env / default).
+        self.budget_bytes = (
+            _default_marks_budget() if budget_bytes is None else budget_bytes
+        )
+        self.stats = MarkCacheStats()
+        self._entries: "OrderedDict[int, tuple[object, object, int]]" = OrderedDict()
+        self._held_bytes = 0
+
+    @staticmethod
+    def _table_bytes(n_rows: int) -> int:
+        return 8 * n_rows
+
+    def get(self, partition) -> Sequence[int]:
+        """The mark table of ``partition`` (built on miss, LRU-refreshed on hit)."""
+        key = id(partition)
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] is partition:
+            self.stats.hits += 1
+            KERNEL_COUNTERS.mark_hits += 1
+            self._entries.move_to_end(key)
+            return entry[1]
+        self.stats.misses += 1
+        KERNEL_COUNTERS.mark_misses += 1
+        marks = get_backend().build_marks(
+            partition.positions, partition.offsets, partition.n_rows
+        )
+        table_bytes = self._table_bytes(partition.n_rows)
+        self._entries[key] = (partition, marks, table_bytes)
+        self._held_bytes += table_bytes
+        while self._held_bytes > self.budget_bytes and len(self._entries) > 1:
+            _, (_, _, evicted_bytes) = self._entries.popitem(last=False)
+            self._held_bytes -= evicted_bytes
+            self.stats.evictions += 1
+            self.stats.evicted_bytes += evicted_bytes
+            KERNEL_COUNTERS.mark_evictions += 1
+            KERNEL_COUNTERS.mark_evicted_bytes += evicted_bytes
+        return marks
+
+    @property
+    def held_bytes(self) -> int:
+        """Accounted bytes of the currently held mark tables."""
+        return self._held_bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Fallback cache for partitions built without a relation context
+#: (direct ``StrippedPartition(groups, n_rows)`` constructions).
+DEFAULT_MARK_CACHE = MarkTableCache()
+
+
+def kernel_stats_summary() -> dict[str, object]:
+    """Process-wide kernel statistics (active backend + aggregate counters)."""
+    return {"backend": get_backend().name, **KERNEL_COUNTERS.snapshot()}
+
+
+def render_kernel_stats() -> str:
+    """Human-readable one-block rendering of :func:`kernel_stats_summary`."""
+    summary = kernel_stats_summary()
+    lines = [f"[kernel] backend={summary.pop('backend')}"]
+    lines.append(
+        "[kernel] mark cache: "
+        f"hits={summary['mark_hits']} misses={summary['mark_misses']} "
+        f"evictions={summary['mark_evictions']} "
+        f"evicted_bytes={summary['mark_evicted_bytes']}"
+    )
+    lines.append(
+        "[kernel] partition cache: "
+        f"hits={summary['partition_hits']} misses={summary['partition_misses']} "
+        f"evictions={summary['partition_evictions']} "
+        f"evicted_positions={summary['partition_evicted_positions']}"
+    )
+    lines.append(
+        "[kernel] combined-codes prefixes: "
+        f"hits={summary['combined_prefix_hits']} "
+        f"misses={summary['combined_prefix_misses']} "
+        f"evictions={summary['combined_prefix_evictions']}"
+    )
+    lines.append(
+        "[kernel] batched validation: "
+        f"levels={summary['batched_levels']} "
+        f"candidates={summary['batched_candidates']}"
+    )
+    return "\n".join(lines)

@@ -25,13 +25,18 @@ Internally a partition is two flat arrays instead of tuples-of-tuples:
 Construction goes through the relation's cached per-column integer encodings
 (:meth:`~repro.relational.relation.Relation.column_codes`) and a counting
 sort, so building, intersecting and refining partitions never hash raw row
-values — only dense machine integers.  ``intersect`` and ``refines`` are
-single-pass probe-table algorithms over reusable ``n_rows``-sized scratch
-tables (row -> group-id mark arrays, kept in a small bounded cache); the
-side with the smaller ``||π||`` is probed into the marks of the larger one,
-as in TANE's linear partition product.  The tuple-of-tuples view remains
-available through the backward-compatible :attr:`StrippedPartition.groups`
-property.
+values — only dense machine integers.  All probe loops live behind the
+pluggable :mod:`~repro.relational.backend` (pure-python ``array('q')`` loops
+or the vectorized numpy fast path, selected via ``REPRO_PARTITION_BACKEND``);
+``intersect`` and ``refines`` are single-pass probe-table algorithms over
+reusable ``n_rows``-sized scratch tables (row -> group-id mark arrays, held
+in the relation-scoped byte-budgeted
+:class:`~repro.relational.backend.MarkTableCache`); the side with the smaller
+``||π||`` is probed into the marks of the larger one, as in TANE's linear
+partition product.  :func:`validate_level` batches a whole lattice level's
+RHS checks into one vectorized pass per shared LHS partition.  The
+tuple-of-tuples view remains available through the backward-compatible
+:attr:`StrippedPartition.groups` property.
 """
 
 from __future__ import annotations
@@ -40,66 +45,25 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
+from .backend import (
+    DEFAULT_MARK_CACHE,
+    KERNEL_COUNTERS,
+    MarkTableCache,
+    get_backend,
+)
 from .relation import Relation
 
-# Bounded cache of row -> group-id mark arrays (the reusable ``n_rows``-sized
-# scratch tables of the probe algorithms).  ``intersect``/``refines`` probe one
-# partition against the marks of another; level-wise exploration reuses the
-# same partitions as mark side over and over (TANE intersects every candidate
-# with single-attribute partitions; refinement checks sweep one RHS partition
-# across many LHSs), so a handful of cached mark arrays amortises the
-# ``O(n_rows)`` marking pass to near zero.  Entries hold a strong reference to
-# their partition, which both bounds memory (at most ``_MAX_MARK_ENTRIES``
-# arrays) and guarantees the ``id()`` key stays valid.
-_MARKS_CACHE: "OrderedDict[int, tuple[StrippedPartition, list[int]]]" = OrderedDict()
-_MAX_MARK_ENTRIES = 8
 
+def _marks_of(partition: "StrippedPartition") -> Sequence[int]:
+    """Row position -> group id (or -1 for stripped singletons) of ``partition``.
 
-def _row_marks(partition: "StrippedPartition") -> list[int]:
-    """Row position -> group id (or -1 for stripped singletons) of ``partition``."""
-    key = id(partition)
-    entry = _MARKS_CACHE.get(key)
-    if entry is not None and entry[0] is partition:
-        _MARKS_CACHE.move_to_end(key)
-        return entry[1]
-    marks = [-1] * partition.n_rows
-    positions, offsets = partition.positions, partition.offsets
-    start = offsets[0]
-    for group_id in range(1, len(offsets)):
-        end = offsets[group_id]
-        mark = group_id - 1
-        for position in positions[start:end]:
-            marks[position] = mark
-        start = end
-    _MARKS_CACHE[key] = (partition, marks)
-    if len(_MARKS_CACHE) > _MAX_MARK_ENTRIES:
-        _MARKS_CACHE.popitem(last=False)
-    return marks
-
-
-def _stripped_from_codes(
-    codes: Sequence[int], counts: Sequence[int]
-) -> tuple[list[int], list[int]]:
-    """Counting-sort ``codes`` into flat (positions, offsets) arrays.
-
-    ``counts`` holds the number of occurrences of each code.  Groups appear
-    in first-value-appearance order; positions within a group are ascending.
-    Codes occurring once are stripped.
+    Served from the partition's relation-scoped mark cache (falling back to
+    the process-wide default for partitions built without a relation).
     """
-    buckets: list[list[int] | None] = [
-        [] if count > 1 else None for count in counts
-    ]
-    positions: list[int] = []
-    offsets: list[int] = [0]
-    for position, code in enumerate(codes):
-        bucket = buckets[code]
-        if bucket is not None:
-            bucket.append(position)
-    for bucket in buckets:
-        if bucket is not None:
-            positions.extend(bucket)
-            offsets.append(len(positions))
-    return positions, offsets
+    cache = partition._mark_cache
+    if cache is None:
+        cache = DEFAULT_MARK_CACHE
+    return cache.get(partition)
 
 
 class StrippedPartition:
@@ -114,7 +78,7 @@ class StrippedPartition:
         the number of singleton classes and compute errors).
     """
 
-    __slots__ = ("positions", "offsets", "n_rows", "_groups_cache")
+    __slots__ = ("positions", "offsets", "n_rows", "_groups_cache", "_mark_cache")
 
     def __init__(self, groups: Iterable[Sequence[int]], n_rows: int) -> None:
         positions: list[int] = []
@@ -124,14 +88,18 @@ class StrippedPartition:
             if len(group) > 1:
                 positions.extend(group)
                 offsets.append(len(positions))
-        self.positions = positions
-        self.offsets = offsets
+        self.positions, self.offsets = get_backend().adopt_flat(positions, offsets)
         self.n_rows = n_rows
         self._groups_cache: tuple[tuple[int, ...], ...] | None = None
+        self._mark_cache: MarkTableCache | None = None
 
     @classmethod
     def _from_flat(
-        cls, positions: list[int], offsets: list[int], n_rows: int
+        cls,
+        positions: Sequence[int],
+        offsets: Sequence[int],
+        n_rows: int,
+        mark_cache: MarkTableCache | None = None,
     ) -> "StrippedPartition":
         """Internal fast path: adopt already-built flat arrays (no copying)."""
         partition = object.__new__(cls)
@@ -139,30 +107,31 @@ class StrippedPartition:
         partition.offsets = offsets
         partition.n_rows = n_rows
         partition._groups_cache = None
+        partition._mark_cache = mark_cache
         return partition
 
     # -- construction ---------------------------------------------------------
     @classmethod
     def from_column(cls, relation: Relation, attribute: str) -> "StrippedPartition":
         """Build the stripped partition of a single attribute."""
-        codes, _, counts = relation._encode_column(attribute)
-        positions, offsets = _stripped_from_codes(codes, counts)
-        return cls._from_flat(positions, offsets, len(relation))
+        codes, n_codes, counts = relation._encode_column(attribute)
+        positions, offsets = get_backend().group_by_codes(codes, n_codes, counts)
+        return cls._from_flat(positions, offsets, len(relation), relation.mark_cache)
 
     @classmethod
     def from_columns(cls, relation: Relation, attributes: Sequence[str]) -> "StrippedPartition":
         """Build the stripped partition of an attribute combination directly."""
         if not attributes:
             # The empty attribute set puts every row in one class.
-            return cls([range(len(relation))], len(relation))
+            partition = cls([range(len(relation))], len(relation))
+            partition._mark_cache = relation.mark_cache
+            return partition
         if len(attributes) == 1:
             return cls.from_column(relation, attributes[0])
-        codes, n_codes = relation.combined_column_codes(attributes)
-        counts = [0] * n_codes
-        for code in codes:
-            counts[code] += 1
-        positions, offsets = _stripped_from_codes(codes, counts)
-        return cls._from_flat(positions, offsets, len(relation))
+        backend = get_backend()
+        codes, n_codes = backend.encode_columns(relation, attributes)
+        positions, offsets = backend.group_by_codes(codes, n_codes)
+        return cls._from_flat(positions, offsets, len(relation), relation.mark_cache)
 
     # -- views ----------------------------------------------------------------
     @property
@@ -170,7 +139,7 @@ class StrippedPartition:
         """The non-singleton classes as tuples (materialised lazily)."""
         cached = self._groups_cache
         if cached is None:
-            positions, offsets = self.positions, self.offsets
+            positions, offsets = self._flat_lists()
             cached = tuple(
                 tuple(positions[offsets[i] : offsets[i + 1]])
                 for i in range(len(offsets) - 1)
@@ -178,9 +147,18 @@ class StrippedPartition:
             self._groups_cache = cached
         return cached
 
+    def _flat_lists(self) -> tuple[list[int], list[int]]:
+        """The flat arrays as plain python lists (copy-free on the python path)."""
+        positions, offsets = self.positions, self.offsets
+        if not isinstance(positions, list):
+            positions = positions.tolist()
+        if not isinstance(offsets, list):
+            offsets = offsets.tolist()
+        return positions, offsets
+
     def iter_groups(self) -> Iterator[list[int]]:
         """Iterate over the classes as fresh lists, without caching tuples."""
-        positions, offsets = self.positions, self.offsets
+        positions, offsets = self._flat_lists()
         start = offsets[0]
         for i in range(1, len(offsets)):
             end = offsets[i]
@@ -213,7 +191,7 @@ class StrippedPartition:
 
     def is_key(self) -> bool:
         """Whether the attribute set is a (super)key: every class is a singleton."""
-        return not self.positions
+        return len(self.positions) == 0
 
     def g3_error(self) -> float:
         """The g3 measure used for approximate FDs when this partition refines RHS.
@@ -232,43 +210,29 @@ class StrippedPartition:
 
         The side with the smaller ``||π||`` is probed, group by group, against
         the row -> group-id mark table of the larger side — TANE's linear
-        product, with the mark tables amortised across calls by a small
-        bounded cache.
+        product, with the mark tables amortised across calls by the
+        relation-scoped byte-budgeted cache.  The probe itself runs on the
+        active :mod:`~repro.relational.backend`.
         """
         if self.n_rows != other.n_rows:
             raise ValueError("cannot intersect partitions over different relations")
-        if not self.positions or not other.positions:
+        mark_cache = self._mark_cache if self._mark_cache is not None else other._mark_cache
+        backend = get_backend()
+        if len(self.positions) == 0 or len(other.positions) == 0:
             # A key on either side leaves only singletons in the product.
-            return StrippedPartition._from_flat([], [0], self.n_rows)
+            empty_positions, empty_offsets = backend.adopt_flat([], [0])
+            return StrippedPartition._from_flat(
+                empty_positions, empty_offsets, self.n_rows, mark_cache
+            )
         if len(self.positions) <= len(other.positions):
             probe, build = self, other
         else:
             probe, build = other, self
-        marks = _row_marks(build)
-        out_positions: list[int] = []
-        out_offsets: list[int] = [0]
-        extend = out_positions.extend
-        close_group = out_offsets.append
-        positions, offsets = probe.positions, probe.offsets
-        start = offsets[0]
-        for group_id in range(1, len(offsets)):
-            end = offsets[group_id]
-            buckets: dict[int, list[int]] = {}
-            get_bucket = buckets.get
-            for position in positions[start:end]:
-                mark = marks[position]
-                if mark >= 0:
-                    bucket = get_bucket(mark)
-                    if bucket is None:
-                        buckets[mark] = [position]
-                    else:
-                        bucket.append(position)
-            start = end
-            for bucket in buckets.values():
-                if len(bucket) > 1:
-                    extend(bucket)
-                    close_group(len(out_positions))
-        return StrippedPartition._from_flat(out_positions, out_offsets, self.n_rows)
+        marks = _marks_of(build)
+        positions, offsets = backend.intersect_marks(
+            probe.positions, probe.offsets, marks, build.n_groups
+        )
+        return StrippedPartition._from_flat(positions, offsets, self.n_rows, mark_cache)
 
     def refines(self, other: "StrippedPartition") -> bool:
         """Whether every class of ``self`` is contained in a class of ``other``.
@@ -277,23 +241,10 @@ class StrippedPartition:
         """
         if self.n_rows != other.n_rows:
             raise ValueError("cannot compare partitions over different relations")
-        if not self.positions:
+        if len(self.positions) == 0:
             return True
-        marks = _row_marks(other)
-        positions, offsets = self.positions, self.offsets
-        start = offsets[0]
-        for group_id in range(1, len(offsets)):
-            end = offsets[group_id]
-            first = marks[positions[start]]
-            if first < 0:
-                # The leading position is a singleton of `other`, yet its
-                # class here has at least two members: the class splits.
-                return False
-            for position in positions[start + 1 : end]:
-                if marks[position] != first:
-                    return False
-            start = end
-        return True
+        marks = _marks_of(other)
+        return get_backend().refines_marks(self.positions, self.offsets, marks)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, StrippedPartition):
@@ -329,6 +280,16 @@ class PartitionCacheStats:
         requests = self.hits + self.misses
         return self.hits / requests if requests else 0.0
 
+    def as_dict(self) -> dict[str, int | float]:
+        """Plain-dict view for ``DiscoveryStats.extra`` reporting."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "evicted_positions": self.evicted_positions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
 
 class PartitionCache:
     """Memoising, memory-bounded cache of stripped partitions for one relation.
@@ -345,7 +306,8 @@ class PartitionCache:
     ``stripped_size``; when ``max_positions`` is set, least-recently-used
     entries are evicted once the held position total exceeds the budget.
     Eviction never changes results — evicted partitions are recomputed on
-    demand — and :attr:`stats` reports hits, misses and evictions.
+    demand — and :attr:`stats` reports hits, misses and evictions (also
+    mirrored into the process-wide kernel counters).
     """
 
     def __init__(self, relation: Relation, max_positions: int | None = None) -> None:
@@ -364,13 +326,16 @@ class PartitionCache:
         cached = self._pinned.get(key)
         if cached is not None:
             self.stats.hits += 1
+            KERNEL_COUNTERS.partition_hits += 1
             return cached
         cached = self._lru.get(key)
         if cached is not None:
             self.stats.hits += 1
+            KERNEL_COUNTERS.partition_hits += 1
             self._lru.move_to_end(key)
             return cached
         self.stats.misses += 1
+        KERNEL_COUNTERS.partition_misses += 1
         partition = self._compute(key)
         self._store(key, partition)
         return partition
@@ -418,6 +383,8 @@ class PartitionCache:
             self._held_positions -= evicted.stripped_size
             self.stats.evictions += 1
             self.stats.evicted_positions += evicted.stripped_size
+            KERNEL_COUNTERS.partition_evictions += 1
+            KERNEL_COUNTERS.partition_evicted_positions += evicted.stripped_size
 
     @property
     def held_positions(self) -> int:
@@ -450,25 +417,18 @@ def fd_holds_fast(
     lhs_partition: StrippedPartition,
     rhs: str,
 ) -> bool:
-    """Check ``lhs -> rhs`` given the LHS partition, with early exit on violation.
+    """Check ``lhs -> rhs`` given the LHS partition, without building ``lhs ∪ {rhs}``.
 
-    Scans each non-singleton LHS equivalence class and verifies that the RHS
-    *code* (from the relation's cached column encoding) is constant within
-    the class.  This avoids materialising the ``lhs ∪ {rhs}`` partition,
-    which makes the (frequent) *failing* checks of selective mining almost
-    free: the first class with two distinct RHS values aborts the scan.
+    Verifies that the RHS *code* (from the relation's cached column encoding)
+    is constant within every non-singleton LHS equivalence class.  On the
+    python backend the scan aborts at the first class with two distinct RHS
+    values, which makes the (frequent) *failing* checks of selective mining
+    almost free; the numpy backend answers with one boolean-mask pass.
     """
     codes, _ = relation.column_codes(rhs)
-    positions, offsets = lhs_partition.positions, lhs_partition.offsets
-    start = offsets[0]
-    for group_id in range(1, len(offsets)):
-        end = offsets[group_id]
-        first = codes[positions[start]]
-        for position in positions[start + 1 : end]:
-            if codes[position] != first:
-                return False
-        start = end
-    return True
+    return get_backend().constant_within_groups(
+        lhs_partition.positions, lhs_partition.offsets, codes
+    )
 
 
 def fd_violation_fraction_from_partition(
@@ -487,22 +447,9 @@ def fd_violation_fraction_from_partition(
     if not n_rows:
         return 0.0
     codes, _ = relation.column_codes(rhs)
-    positions, offsets = lhs_partition.positions, lhs_partition.offsets
-    removals = 0
-    start = offsets[0]
-    for group_id in range(1, len(offsets)):
-        end = offsets[group_id]
-        counts: dict[int, int] = {}
-        get_count = counts.get
-        most_frequent = 0
-        for position in positions[start:end]:
-            code = codes[position]
-            tally = (get_count(code) or 0) + 1
-            counts[code] = tally
-            if tally > most_frequent:
-                most_frequent = tally
-        removals += (end - start) - most_frequent
-        start = end
+    removals = get_backend().g3_removals(
+        lhs_partition.positions, lhs_partition.offsets, codes
+    )
     return removals / n_rows
 
 
@@ -517,3 +464,89 @@ def fd_violation_fraction(relation: Relation, lhs: Iterable[str], rhs: str,
     if cache is None:
         cache = PartitionCache(relation)
     return fd_violation_fraction_from_partition(relation, cache.get(lhs), rhs)
+
+
+# ---------------------------------------------------------------------------
+# Batched candidate validation (one lattice level at a time).
+# ---------------------------------------------------------------------------
+
+
+def validate_level(
+    relation: Relation,
+    candidates: Sequence[tuple[StrippedPartition, str]],
+) -> list[bool]:
+    """Exact validity of a batch of ``(lhs_partition, rhs)`` candidates.
+
+    ``X -> a`` holds iff the codes of ``a`` are constant within every
+    non-singleton class of ``π(X)``.  Candidates sharing an LHS partition
+    (the common case inside one lattice level, where every RHS of a
+    candidate set is checked against the same LHS) are answered by a single
+    backend pass: the numpy backend stacks their RHS code columns and
+    probes all of them with one boolean-mask comparison, the python backend
+    falls back to the early-exit scan per candidate.  Verdicts come back in
+    input order and are bit-identical across backends.
+    """
+    if not candidates:
+        return []
+    results = [True] * len(candidates)
+    if not len(relation):
+        # Every FD holds vacuously on an empty instance.
+        return results
+    backend = get_backend()
+    KERNEL_COUNTERS.batched_levels += 1
+    KERNEL_COUNTERS.batched_candidates += len(candidates)
+    for partition, indices in _group_by_partition(candidates):
+        if len(partition.positions) == 0:
+            continue  # a superkey LHS validates every RHS
+        codes_list = [relation.column_codes(candidates[i][1])[0] for i in indices]
+        verdicts = backend.batch_constant_within_groups(
+            partition.positions, partition.offsets, codes_list
+        )
+        for index, verdict in zip(indices, verdicts):
+            results[index] = verdict
+    return results
+
+
+def validate_level_errors(
+    relation: Relation,
+    candidates: Sequence[tuple[StrippedPartition, str]],
+) -> list[float]:
+    """Batched g3 errors of ``(lhs_partition, rhs)`` candidates (input order).
+
+    The batched counterpart of :func:`fd_violation_fraction_from_partition`,
+    used by approximate discovery to grade a whole lattice level in one pass
+    per shared LHS partition.
+    """
+    if not candidates:
+        return []
+    n_rows = len(relation)
+    errors = [0.0] * len(candidates)
+    if not n_rows:
+        return errors
+    backend = get_backend()
+    KERNEL_COUNTERS.batched_levels += 1
+    KERNEL_COUNTERS.batched_candidates += len(candidates)
+    for partition, indices in _group_by_partition(candidates):
+        if len(partition.positions) == 0:
+            continue  # a superkey LHS violates nothing
+        codes_list = [relation.column_codes(candidates[i][1])[0] for i in indices]
+        removals = backend.batch_g3_removals(
+            partition.positions, partition.offsets, codes_list
+        )
+        for index, removed in zip(indices, removals):
+            errors[index] = removed / n_rows
+    return errors
+
+
+def _group_by_partition(
+    candidates: Sequence[tuple[StrippedPartition, str]],
+) -> Iterator[tuple[StrippedPartition, list[int]]]:
+    """Group candidate indices by (identical) LHS partition, input order kept."""
+    grouped: "OrderedDict[int, tuple[StrippedPartition, list[int]]]" = OrderedDict()
+    for index, (partition, _) in enumerate(candidates):
+        entry = grouped.get(id(partition))
+        if entry is None:
+            grouped[id(partition)] = (partition, [index])
+        else:
+            entry[1].append(index)
+    return iter(grouped.values())

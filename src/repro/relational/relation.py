@@ -12,14 +12,39 @@ can produce them.
 
 from __future__ import annotations
 
+import os
 from array import array
-from collections import Counter, defaultdict
+from collections import Counter, OrderedDict, defaultdict
 from typing import Any, Callable, Hashable, Iterable, Iterator, Mapping, Sequence
 
+from .backend import (
+    COMBINED_CACHE_ENV_VAR,
+    DEFAULT_COMBINED_CACHE_ENTRIES,
+    KERNEL_COUNTERS,
+    MarkTableCache,
+    get_backend,
+)
 from .schema import Attribute, RelationSchema, SchemaError
 
 #: The NULL marker used throughout the substrate.
 NULL = None
+
+_COMBINED_CACHE_ENTRIES: int | None = None
+
+
+def _combined_cache_entries() -> int:
+    """Per-relation combined-codes prefix cache size (env-overridable, cached)."""
+    global _COMBINED_CACHE_ENTRIES
+    if _COMBINED_CACHE_ENTRIES is None:
+        raw = os.environ.get(COMBINED_CACHE_ENV_VAR)
+        size = DEFAULT_COMBINED_CACHE_ENTRIES
+        if raw:
+            try:
+                size = max(2, int(raw))
+            except ValueError:
+                pass
+        _COMBINED_CACHE_ENTRIES = size
+    return _COMBINED_CACHE_ENTRIES
 
 
 class RelationError(ValueError):
@@ -40,7 +65,15 @@ class Relation:
         per schema attribute.
     """
 
-    __slots__ = ("_name", "_schema", "_rows", "_column_index_cache", "_column_codes_cache")
+    __slots__ = (
+        "_name",
+        "_schema",
+        "_rows",
+        "_column_index_cache",
+        "_column_codes_cache",
+        "_combined_codes_cache",
+        "_mark_cache",
+    )
 
     def __init__(
         self,
@@ -65,6 +98,11 @@ class Relation:
         self._rows: tuple[tuple[Any, ...], ...] = tuple(materialised)
         self._column_index_cache: dict[str, dict[Hashable, list[int]]] = {}
         self._column_codes_cache: dict[str, tuple[array, int, list[int]]] = {}
+        # Bounded LRU of hot combined-code prefixes, tagged by backend name.
+        self._combined_codes_cache: "OrderedDict[tuple[str, ...], tuple[Any, int, str]]" = (
+            OrderedDict()
+        )
+        self._mark_cache: MarkTableCache | None = None
 
     # -- basic protocol -------------------------------------------------------
     def __len__(self) -> int:
@@ -215,27 +253,77 @@ class Relation:
         """Number of distinct values of ``attribute`` (via the cached encoding)."""
         return self.column_codes(attribute)[1]
 
-    def combined_column_codes(self, attributes: Sequence[str]) -> tuple[list[int], int]:
+    def combined_column_codes(self, attributes: Sequence[str]) -> tuple[Sequence[int], int]:
         """Dense integer codes of the value *combinations* over ``attributes``.
 
-        Folds the per-column encodings with a mixed-radix product, re-densifying
-        after every column so intermediate keys stay bounded by
-        ``n_rows * n_codes`` (integer dictionary lookups only, no tuple
-        hashing).  Returns ``(codes, n_codes)`` like :meth:`column_codes`;
-        combinations are not cached — per-column encodings are.
+        Folds the per-column encodings with a mixed-radix product through the
+        active partition backend, re-densifying after every column (in
+        first-appearance order, identically on every backend) so
+        intermediate keys stay bounded by ``n_rows * n_codes``.  Returns
+        ``(codes, n_codes)`` like :meth:`column_codes`.
+
+        Hot prefixes (``attributes[:k]`` for ``k >= 2``) are memoised in a
+        small per-relation LRU (``REPRO_COMBINED_CODES_CACHE_ENTRIES``
+        entries, default 16), so repeated partition builds over overlapping
+        attribute sequences stop recomputing the shared fold steps.  The
+        returned sequence may be such a cached object: treat it as
+        read-only.
         """
         if not attributes:
             raise RelationError("combined_column_codes needs at least one attribute")
-        codes, width = self.column_codes(attributes[0])
-        combined = list(codes)
-        for attribute in attributes[1:]:
-            nxt, radix = self.column_codes(attribute)
-            remap: dict[int, int] = {}
-            assign = remap.setdefault
-            for i, code in enumerate(combined):
-                combined[i] = assign(code * radix + nxt[i], len(remap))
-            width = len(remap)
+        backend = get_backend()
+        if len(attributes) == 1:
+            codes, width = self.column_codes(attributes[0])
+            return backend.initial_codes(codes), width
+
+        key = tuple(attributes)
+        cache = self._combined_codes_cache
+        entry = cache.get(key)
+        if entry is not None and entry[2] == backend.name:
+            cache.move_to_end(key)
+            KERNEL_COUNTERS.combined_prefix_hits += 1
+            return entry[0], entry[1]
+        KERNEL_COUNTERS.combined_prefix_misses += 1
+
+        # Resume from the longest cached prefix folded under the same backend.
+        combined = None
+        width = 0
+        start = 1
+        for length in range(len(key) - 1, 1, -1):
+            prefix = cache.get(key[:length])
+            if prefix is not None and prefix[2] == backend.name:
+                cache.move_to_end(key[:length])
+                KERNEL_COUNTERS.combined_prefix_hits += 1
+                combined, width = prefix[0], prefix[1]
+                start = length
+                break
+        if combined is None:
+            first_codes, width = self.column_codes(key[0])
+            combined = backend.initial_codes(first_codes)
+        for index in range(start, len(key)):
+            nxt, radix = self.column_codes(key[index])
+            combined, width = backend.combine_codes(combined, width, nxt, radix)
+            self._store_combined_prefix(key[: index + 1], combined, width, backend.name)
         return combined, width
+
+    def _store_combined_prefix(
+        self, key: tuple[str, ...], codes: Sequence[int], width: int, backend_name: str
+    ) -> None:
+        cache = self._combined_codes_cache
+        cache[key] = (codes, width, backend_name)
+        cache.move_to_end(key)
+        while len(cache) > _combined_cache_entries():
+            cache.popitem(last=False)
+            KERNEL_COUNTERS.combined_prefix_evictions += 1
+
+    @property
+    def mark_cache(self) -> MarkTableCache:
+        """The relation-scoped byte-budgeted mark-table cache (lazy)."""
+        cache = self._mark_cache
+        if cache is None:
+            cache = MarkTableCache()
+            self._mark_cache = cache
+        return cache
 
     # -- derivations ----------------------------------------------------------
     def with_name(self, name: str) -> "Relation":
