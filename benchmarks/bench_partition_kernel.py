@@ -48,7 +48,8 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-from repro.relational.backend import get_backend, use_backend  # noqa: E402
+from repro.relational.backend import get_backend  # noqa: E402
+from repro.session import Session  # noqa: E402
 from repro.relational.partition import (  # noqa: E402
     PartitionCache,
     StrippedPartition,
@@ -194,17 +195,18 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
         "--backend", default=None, choices=("auto", "python", "numpy"),
-        help="pin the partition backend for this run (default: process-wide "
-             "selection — numpy when importable)",
+        help="pin the partition backend of this run's session (default: the "
+             "environment's selection — numpy when importable)",
     )
     args = parser.parse_args(argv)
 
     scale = os.environ.get("REPRO_BENCH_SCALE", "small")
-    if args.backend is not None:
-        with use_backend(args.backend):
-            result = run_bench(_resolve_rows(scale), repeats=args.repeats)
-    else:
+    # Each run executes under its own Session so the backend pin and cache
+    # budgets are explicit (and the recorded backend is exactly what ran).
+    session = Session(backend=args.backend)
+    with session.activate():
         result = run_bench(_resolve_rows(scale), repeats=args.repeats)
+    result["config_fingerprint"] = session.config.fingerprint()
 
     output = Path(args.output)
     data: dict = {"schema_version": 1, "runs": {}}

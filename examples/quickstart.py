@@ -1,12 +1,24 @@
 #!/usr/bin/env python3
-"""Quickstart: discover FDs on a view without computing the view's FD set from scratch.
+"""Quickstart: the `repro.Session` API on a tiny two-table catalog.
 
-The example builds two tiny relations, discovers their FDs, defines an SPJ
-view joining them, and runs InFine to obtain every minimal FD of the view
-annotated with its provenance triple.
+The example builds two small relations, opens a :class:`repro.Session`
+(the explicit engine context owning backend choice, cache budgets and kernel
+counters), and walks the four session verbs:
+
+* ``session.discover``  — exact minimal FDs of one relation;
+* ``session.validate``  — check specific FDs (with their g3 errors);
+* ``session.profile``   — approximate FDs (the upstaging candidates);
+* ``session.infine``    — every minimal FD of an SPJ view, with provenance.
+
+Each verb returns a unified :class:`repro.RunResult` that serialises to
+canonical JSON (``save``/``load`` round-trip byte-identically) and records
+which backend and configuration produced it.
 """
 
-from repro import FD, InFine, Relation, StraightforwardPipeline, TANE, base, join
+import tempfile
+from pathlib import Path
+
+from repro import Relation, RunResult, Session, StraightforwardPipeline, base, join
 
 
 def build_catalog() -> dict[str, Relation]:
@@ -40,27 +52,54 @@ def build_catalog() -> dict[str, Relation]:
 def main() -> None:
     catalog = build_catalog()
 
+    # One explicit engine context for the whole workload.  Environment
+    # variables provide the defaults; keyword overrides always win, and both
+    # backends produce byte-identical artefacts.
+    session = Session()
+    print(f"== Session ==\n  {session!r}")
+
     # 1. Classical single-table discovery on a base relation.
-    customer_fds = TANE().discover(catalog["customers"])
-    print("== Minimal FDs of `customers` (TANE) ==")
-    for dependency in customer_fds:
+    discovered = session.discover(catalog["customers"], algorithm="tane")
+    print(f"\n== Minimal FDs of `customers` (TANE, backend={discovered.backend}) ==")
+    for dependency in discovered.fds:
         print("  ", dependency)
 
-    # 2. Define the integrated view: customers joined with their orders.
+    # 2. Validate hand-written FDs (g3 = fraction of violating rows).
+    verdicts = session.validate(
+        catalog["orders"], ["order_id -> status", "customer_id -> priority"]
+    )
+    print("\n== Validation of two candidate FDs on `orders` ==")
+    for check in verdicts.artifacts["checks"]:
+        lhs = ",".join(check["lhs"])
+        print(f"   {lhs} -> {check['rhs']}: holds={check['holds']} g3={check['g3']:.3f}")
+
+    # 3. Approximate FDs: the dependencies a selection/join could upstage.
+    profiled = session.profile(catalog["orders"], threshold=0.4, max_lhs=1)
+    print(f"\n== AFDs of `orders` (g3 <= 0.4): {len(profiled)} found ==")
+
+    # 4. InFine on the integrated view: every minimal FD with its provenance.
     view = join(base("customers"), base("orders"), on="customer_id")
+    run = session.infine(view, catalog)
+    print(f"\n== {len(run)} FDs of the view, with provenance ==")
+    for triple in run.artifacts["provenance"]:
+        print(f"  [{triple['type']:18s}] {triple['fd']}   (holds in {triple['subquery']})")
 
-    # 3. Run InFine: every minimal FD of the view, each with its provenance.
-    result = InFine().run(view, catalog)
-    print(f"\n== {len(result)} FDs of the view, with provenance ==")
-    for triple in result.triples:
-        print(f"  [{triple.fd_type.value:18s}] {triple.dependency}   (holds in {triple.subquery})")
+    # RunResults are plain JSON artefacts: save/load round-trips are
+    # byte-identical and record the engine configuration fingerprint.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = run.save(Path(tmp) / "view_fds.json")
+        reloaded = RunResult.load(path)
+        assert reloaded.to_json() == run.to_json()
+    print(f"\nRunResult round-trip OK (config fingerprint {run.config_fingerprint})")
 
-    # 4. Cross-check against the straightforward approach (full view + discovery).
+    # 5. Cross-check against the straightforward approach (full view + discovery).
     reference = StraightforwardPipeline("tane").run(view, catalog)
-    assert set(result.fds.as_set()) == set(reference.fds.as_set())
-    print("\nInFine found exactly the FDs a full-view discovery finds "
+    assert set(run.fds.as_set()) == set(reference.fds.as_set())
+    print("InFine found exactly the FDs a full-view discovery finds "
           f"({len(reference.fds)} FDs), without mining the full view from scratch.")
-    print(f"Step breakdown: {result.count_by_step()}")
+    print(f"Step breakdown: {run.artifacts['count_by_step']}")
+    print("\nKernel work of this session:")
+    print(session.render_kernel_stats())
 
 
 if __name__ == "__main__":

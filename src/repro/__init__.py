@@ -2,17 +2,23 @@
 
 This package reproduces the system described in *"Provenance-aware Discovery
 of Functional Dependencies on Integrated Views"* (ICDE 2022).  The public API
-is re-exported here so that a typical session only needs::
+is re-exported here; the recommended entry point is the session API::
 
-    from repro import Relation, base, join, InFine
+    from repro import Relation, Session, base, join
 
+    session = Session()                      # env-var defaults; kwargs override
     catalog = {...}
+    result = session.discover(catalog["patient"], algorithm="tane")
     view = join(base("patient"), base("admission"), on="subject_id")
-    result = InFine().run(view, catalog)
-    for triple in result.triples:
-        print(triple)
+    run = session.infine(view, catalog)      # unified, JSON-serialisable RunResult
+    run.save("view_fds.json")
+
+The classic entry points (``TANE().discover``, ``InFine().run``,
+``approximate_fds``) keep working; they run on the module-level default
+session (see :func:`repro.session.default_session`).
 """
 
+from .config import EngineConfig
 from .discovery import (
     FUN,
     TANE,
@@ -39,11 +45,28 @@ from .relational import (
     sel,
     select,
 )
+from .session import (
+    RunResult,
+    Session,
+    default_session,
+    discover,
+    infine,
+    profile,
+    validate,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    "Session",
+    "EngineConfig",
+    "RunResult",
+    "default_session",
+    "discover",
+    "validate",
+    "profile",
+    "infine",
     "Relation",
     "RelationSchema",
     "NULL",

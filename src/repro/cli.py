@@ -30,7 +30,7 @@ from .experiments.figures import fig3_rows, fig4_rows, fig5_rows
 from .experiments.harness import run_full_evaluation
 from .experiments.report import render_csv, render_table
 from .experiments.tables import table1_rows, table2_rows, table3_rows
-from .relational.backend import render_kernel_stats
+from .session import Session
 
 _COMMANDS = ("table1", "table2", "table3", "fig3", "fig4", "fig5", "views", "all")
 
@@ -65,11 +65,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory to write CSV results into (tables are always printed)",
     )
     parser.add_argument(
+        "--backend", default=None, choices=("auto", "python", "numpy"),
+        help="partition backend for this invocation (default: the "
+             "REPRO_PARTITION_BACKEND environment variable, else auto); both "
+             "backends produce byte-identical artefacts",
+    )
+    parser.add_argument(
         "--kernel-stats", action="store_true",
         help="print partition-kernel diagnostics after the command: the active "
-             "backend and the aggregate mark-table / partition / combined-codes "
-             "cache hit, miss and eviction counters (off by default so table "
-             "output stays byte-identical across backends)",
+             "backend and the mark-table / partition / combined-codes cache "
+             "hit, miss and eviction counters of this invocation's session "
+             "(scoped per invocation, so repeated commands in one process "
+             "never double-count; off by default so table output stays "
+             "byte-identical across backends)",
     )
     return parser
 
@@ -92,13 +100,20 @@ def _emit(rows: list[dict], title: str, name: str, output: Path | None) -> None:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Every invocation runs under its own :class:`~repro.session.Session`
+    (environment-variable defaults, ``--backend`` overriding the backend), so
+    ``--kernel-stats`` reports exactly this invocation's kernel work.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    exit_code = _run_command(args)
+    session = Session(backend=args.backend)
+    with session.activate():
+        exit_code = _run_command(args)
     if args.kernel_stats:
         print()
-        print(render_kernel_stats())
+        print(session.render_kernel_stats())
     return exit_code
 
 

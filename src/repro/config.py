@@ -1,0 +1,203 @@
+"""Engine configuration: every tuning knob of the partition kernel in one place.
+
+Before the :class:`~repro.session.Session` API, the kernel was configured
+through scattered process-wide environment variables (backend selection,
+cache budgets) read lazily at first use.  :class:`EngineConfig` turns those
+into an explicit, immutable value object:
+
+* environment variables become *defaults*, parsed once by
+  :meth:`EngineConfig.from_env`;
+* an explicit ``EngineConfig(...)`` (or keyword overrides on
+  ``Session(...)``/per-call overrides on ``Session.discover(...)``) always
+  wins over the environment;
+* the whole configuration is JSON-serialisable (:meth:`as_dict`) and
+  content-addressed (:meth:`fingerprint`), so every
+  :class:`~repro.session.RunResult` can record exactly which engine settings
+  produced it.
+
+The configuration only affects *how fast* results are computed, never *what*
+is computed: the two partition backends are bit-compatible and every cache is
+semantics-preserving, so artefacts stay byte-identical across any two
+configurations (this is pinned by tests).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Mapping
+
+#: Environment variable forcing the backend (``python`` / ``numpy`` / ``auto``).
+ENV_BACKEND = "REPRO_PARTITION_BACKEND"
+
+#: Environment variable overriding the mark-table cache budget in bytes.
+ENV_MARKS_CACHE_BYTES = "REPRO_MARKS_CACHE_BYTES"
+
+#: Environment variable overriding the combined-codes prefix cache size.
+ENV_COMBINED_CACHE_ENTRIES = "REPRO_COMBINED_CODES_CACHE_ENTRIES"
+
+#: Environment variable for the per-relation backend heuristic: relations
+#: with fewer rows than this fall back to the pure-python loops (their lower
+#: constant factors beat the vectorized path on micro inputs).
+ENV_BACKEND_MIN_NUMPY_ROWS = "REPRO_BACKEND_MIN_NUMPY_ROWS"
+
+#: Environment variable toggling batched lattice-level validation (``1``/``0``).
+ENV_BATCH_VALIDATION = "REPRO_BATCH_VALIDATION"
+
+#: Default mark-table budget: sixteen ~1M-row tables at 8 bytes per row.
+DEFAULT_MARKS_CACHE_BYTES = 128 * 1024 * 1024
+
+#: Default number of combined-code prefixes cached per relation.
+DEFAULT_COMBINED_CACHE_ENTRIES = 16
+
+#: Default row threshold of the per-relation backend heuristic (0 = always
+#: honour the nominal backend choice; the heuristic is opt-in).
+DEFAULT_BACKEND_MIN_NUMPY_ROWS = 0
+
+_BACKEND_CHOICES = ("auto", "python", "numpy")
+
+
+def _env_int(env: Mapping[str, str], name: str, default: int, minimum: int = 0) -> int:
+    raw = env.get(name)
+    if raw:
+        try:
+            return max(minimum, int(raw))
+        except ValueError:
+            pass
+    return default
+
+
+def _env_bool(env: Mapping[str, str], name: str, default: bool) -> bool:
+    raw = env.get(name)
+    if raw is None or raw == "":
+        return default
+    return raw.strip().lower() not in ("0", "false", "no", "off")
+
+
+class ConfigError(ValueError):
+    """Raised for invalid engine configurations."""
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Immutable configuration of the partition-kernel engine.
+
+    Parameters
+    ----------
+    backend:
+        Nominal partition backend: ``auto`` (numpy when importable),
+        ``python`` or ``numpy`` (raises at resolution time when numpy is not
+        importable).
+    backend_min_numpy_rows:
+        Per-relation override of ``auto``: relations with fewer rows than
+        this threshold use the pure-python loops even when numpy is
+        available (the python kernel's lower constant factors win on micro
+        inputs).  ``0`` disables the heuristic.  Both backends are
+        bit-compatible, so the switch point never changes artefacts.
+    marks_cache_bytes:
+        Byte budget of each relation-scoped row -> group-id mark-table cache.
+    combined_codes_cache_entries:
+        Entries of each relation-scoped combined-codes prefix LRU.
+    partition_cache_max_positions:
+        Default ``stripped_size`` budget for algorithm-owned
+        :class:`~repro.relational.partition.PartitionCache` instances
+        (``None`` = unbounded; call sites may still pass an explicit budget).
+    batch_validation:
+        Whether :func:`~repro.relational.partition.validate_level` batches a
+        lattice level's RHS checks per shared LHS partition (``False`` falls
+        back to the scalar per-candidate loop — same verdicts, no batching).
+    batch_min_candidates:
+        Minimum batch size below which ``validate_level`` uses the scalar
+        loop even when batching is enabled (``0`` = always batch).
+    """
+
+    backend: str = "auto"
+    backend_min_numpy_rows: int = DEFAULT_BACKEND_MIN_NUMPY_ROWS
+    marks_cache_bytes: int = DEFAULT_MARKS_CACHE_BYTES
+    combined_codes_cache_entries: int = DEFAULT_COMBINED_CACHE_ENTRIES
+    partition_cache_max_positions: int | None = None
+    batch_validation: bool = True
+    batch_min_candidates: int = 0
+
+    def __post_init__(self) -> None:
+        if self.backend not in _BACKEND_CHOICES:
+            raise ConfigError(
+                f"unknown partition backend {self.backend!r}: "
+                f"expected one of {_BACKEND_CHOICES}"
+            )
+        for name in ("backend_min_numpy_rows", "marks_cache_bytes", "batch_min_candidates"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative, got {getattr(self, name)}")
+        if self.combined_codes_cache_entries < 2:
+            raise ConfigError(
+                "combined_codes_cache_entries must be at least 2, got "
+                f"{self.combined_codes_cache_entries}"
+            )
+        if (
+            self.partition_cache_max_positions is not None
+            and self.partition_cache_max_positions < 0
+        ):
+            raise ConfigError(
+                "partition_cache_max_positions must be non-negative or None"
+            )
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def from_env(cls, env: Mapping[str, str] | None = None) -> "EngineConfig":
+        """Parse the environment-variable defaults into a configuration.
+
+        Unset or malformed variables fall back to the built-in defaults, so
+        a pristine environment yields ``EngineConfig()`` with ``auto``
+        backend selection — exactly the pre-session behaviour.
+        """
+        if env is None:
+            env = os.environ
+        backend = (env.get(ENV_BACKEND) or "auto").strip().lower() or "auto"
+        if backend not in _BACKEND_CHOICES:
+            raise ConfigError(
+                f"{ENV_BACKEND}={backend!r} is not a valid backend: "
+                f"expected one of {_BACKEND_CHOICES}"
+            )
+        return cls(
+            backend=backend,
+            backend_min_numpy_rows=_env_int(
+                env, ENV_BACKEND_MIN_NUMPY_ROWS, DEFAULT_BACKEND_MIN_NUMPY_ROWS
+            ),
+            marks_cache_bytes=_env_int(
+                env, ENV_MARKS_CACHE_BYTES, DEFAULT_MARKS_CACHE_BYTES
+            ),
+            combined_codes_cache_entries=_env_int(
+                env, ENV_COMBINED_CACHE_ENTRIES, DEFAULT_COMBINED_CACHE_ENTRIES, minimum=2
+            ),
+            batch_validation=_env_bool(env, ENV_BATCH_VALIDATION, True),
+        )
+
+    def replace(self, **overrides) -> "EngineConfig":
+        """A copy with ``overrides`` applied; ``None`` values mean "keep".
+
+        This is the per-call override mechanism of the session API:
+        ``session.discover(relation, backend="python")`` derives a one-call
+        configuration from the session's without mutating it.
+        """
+        cleaned = {key: value for key, value in overrides.items() if value is not None}
+        unknown = set(cleaned) - {f.name for f in dataclasses.fields(self)}
+        if unknown:
+            raise ConfigError(f"unknown EngineConfig fields: {sorted(unknown)}")
+        return dataclasses.replace(self, **cleaned) if cleaned else self
+
+    # -- serialisation --------------------------------------------------------
+    def as_dict(self) -> dict[str, object]:
+        """The configuration as a JSON-native dictionary."""
+        return dataclasses.asdict(self)
+
+    def fingerprint(self) -> str:
+        """A short, stable content hash of the configuration.
+
+        Recorded in every :class:`~repro.session.RunResult` so artefacts can
+        be traced back to the exact engine settings that produced them.
+        """
+        canonical = json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]

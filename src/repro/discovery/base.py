@@ -16,7 +16,7 @@ from typing import Iterable, Sequence
 
 from ..fd.fd import FD
 from ..fd.fdset import FDSet
-from ..relational.backend import KERNEL_COUNTERS, get_backend
+from ..relational.backend import active_state, get_backend
 from ..relational.relation import Relation
 
 
@@ -24,11 +24,13 @@ from ..relational.relation import Relation
 class DiscoveryStats:
     """Bookkeeping counters reported by the discovery algorithms.
 
-    ``extra`` carries kernel-level diagnostics: every run records the active
-    ``partition_backend`` and a ``kernel`` delta of the process-wide cache
-    counters (mark-table, partition and combined-codes prefix caches,
-    batched validation) bracketing the run; algorithms owning a
-    ``PartitionCache`` add their per-run ``partition_cache`` breakdown.
+    ``extra`` carries kernel-level diagnostics: every run records the
+    ``partition_backend`` resolved for its relation and a ``kernel`` delta of
+    the active engine state's cache counters (mark-table, partition and
+    combined-codes prefix caches, batched validation) bracketing the run —
+    session-scoped, so concurrent sessions never pollute each other's
+    deltas; algorithms owning a ``PartitionCache`` add their per-run
+    ``partition_cache`` breakdown.
     """
 
     candidates_checked: int = 0
@@ -84,12 +86,13 @@ class FDDiscoveryAlgorithm(ABC):
             projection pruning).  Defaults to all attributes of the relation.
         """
         names = self._resolve_attributes(relation, attributes)
-        counters_before = KERNEL_COUNTERS.snapshot()
+        counters = active_state().counters
+        counters_before = counters.snapshot()
         started = time.perf_counter()
         fds, stats = self._run(relation, names)
         stats.runtime_seconds = time.perf_counter() - started
-        stats.extra.setdefault("partition_backend", get_backend().name)
-        stats.extra.setdefault("kernel", KERNEL_COUNTERS.delta(counters_before))
+        stats.extra.setdefault("partition_backend", get_backend(len(relation)).name)
+        stats.extra.setdefault("kernel", counters.delta(counters_before))
         return DiscoveryResult(
             algorithm=self.name,
             relation_name=relation.name,

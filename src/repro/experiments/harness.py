@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
+from contextlib import nullcontext
+
 from ..datasets.registry import Catalog, load_all
 from ..datasets.views import ViewCase, paper_views
 from ..discovery.registry import PAPER_BASELINES
@@ -21,6 +23,7 @@ from ..infine.straightforward import StraightforwardPipeline
 from ..metrics.accuracy import AccuracyBreakdown, accuracy_breakdown
 from ..metrics.coverage import view_coverage
 from ..metrics.profiling import profile_call
+from ..session import Session
 
 
 @dataclass
@@ -69,6 +72,7 @@ def run_view_experiment(
     reference_algorithm: str = "tane",
     measure_memory: bool = False,
     max_lhs_size: int | None = None,
+    session: Session | None = None,
 ) -> ViewExperiment:
     """Run InFine and the straightforward baselines on one view.
 
@@ -76,35 +80,44 @@ def run_view_experiment(
     excluded from both sides (its cost is identical), the baselines pay the
     full SPJ computation, and InFine pays its partial computations inside the
     ``mineFDs`` step.
+
+    ``session`` pins the engine state (backend, cache budgets, counters) the
+    whole experiment runs under; without one, the ambient state is inherited
+    (the enclosing session's activation, or the module-level default).
     """
-    engine = InFine(max_lhs_size=max_lhs_size)
-    infine_profile = profile_call(engine.run, case.spec, catalog, trace_memory=measure_memory)
-    infine_result: InFineResult = infine_profile.value
-
-    baselines: dict[str, MethodMeasurement] = {}
-    reference_fds = None
-    view_rows = 0
-    ordered = list(dict.fromkeys([reference_algorithm, *algorithms]))
-    for algorithm in ordered:
-        pipeline = StraightforwardPipeline(algorithm)
-        profile = profile_call(
-            pipeline.run, case.spec, catalog, with_provenance=False, trace_memory=measure_memory
+    scope = session.activate() if session is not None else nullcontext()
+    with scope:
+        engine = InFine(max_lhs_size=max_lhs_size)
+        infine_profile = profile_call(
+            engine.run, case.spec, catalog, trace_memory=measure_memory
         )
-        run = profile.value
-        view_rows = run.view_rows
-        if algorithm == reference_algorithm:
-            reference_fds = run.fds
-        baselines[algorithm] = MethodMeasurement(
-            algorithm=algorithm,
-            total_seconds=run.total_seconds,
-            spj_seconds=run.spj_seconds,
-            discovery_seconds=run.discovery_seconds,
-            fd_count=len(run.fds),
-            peak_memory_mb=profile.peak_memory_mb if measure_memory else 0.0,
-        )
-    assert reference_fds is not None
+        infine_result: InFineResult = infine_profile.value
 
-    coverage = view_coverage(case.spec, catalog)
+        baselines: dict[str, MethodMeasurement] = {}
+        reference_fds = None
+        view_rows = 0
+        ordered = list(dict.fromkeys([reference_algorithm, *algorithms]))
+        for algorithm in ordered:
+            pipeline = StraightforwardPipeline(algorithm)
+            profile = profile_call(
+                pipeline.run, case.spec, catalog,
+                with_provenance=False, trace_memory=measure_memory,
+            )
+            run = profile.value
+            view_rows = run.view_rows
+            if algorithm == reference_algorithm:
+                reference_fds = run.fds
+            baselines[algorithm] = MethodMeasurement(
+                algorithm=algorithm,
+                total_seconds=run.total_seconds,
+                spj_seconds=run.spj_seconds,
+                discovery_seconds=run.discovery_seconds,
+                fd_count=len(run.fds),
+                peak_memory_mb=profile.peak_memory_mb if measure_memory else 0.0,
+            )
+        assert reference_fds is not None
+
+        coverage = view_coverage(case.spec, catalog)
     return ViewExperiment(
         case=case,
         view_rows=view_rows,
@@ -126,6 +139,7 @@ def run_full_evaluation(
     measure_memory: bool = False,
     seed: int = 7,
     catalogs: Mapping[str, Catalog] | None = None,
+    session: Session | None = None,
 ) -> list[ViewExperiment]:
     """Run the whole workload of the paper (or a filtered subset).
 
@@ -145,6 +159,10 @@ def run_full_evaluation(
         Dataset generation seed.
     catalogs:
         Pre-generated catalogues to reuse (overrides ``scale``/``seed``).
+    session:
+        Optional :class:`repro.session.Session` every experiment runs under
+        (one engine state, one set of kernel counters for the whole
+        evaluation); the ambient state is inherited when omitted.
     """
     resolved_catalogs = dict(catalogs) if catalogs is not None else load_all(scale, seed)
     selected_databases = set(databases) if databases is not None else None
@@ -162,6 +180,7 @@ def run_full_evaluation(
                 resolved_catalogs[case.database],
                 algorithms=algorithms,
                 measure_memory=measure_memory,
+                session=session,
             )
         )
     return experiments

@@ -16,6 +16,7 @@ from typing import Iterable, Iterator
 from ..relational.partition import (
     PartitionCache,
     fd_violation_fraction,
+    make_partition_cache,
     validate_level_errors,
 )
 from ..relational.relation import Relation
@@ -81,7 +82,7 @@ def approximate_fds(
     if threshold <= 0:
         raise ValueError("threshold must be positive; use a discovery algorithm for exact FDs")
     names = tuple(attributes) if attributes is not None else relation.attribute_names
-    cache = PartitionCache(relation)
+    cache = make_partition_cache(relation)
     results: list[ApproximateFD] = []
     exact_or_afd: dict[str, list[frozenset[str]]] = {name: [] for name in names}
 
@@ -130,7 +131,7 @@ def upstageable_fds(
     ``base`` with the join-attribute values of another table; the yielded
     dependencies are precisely the candidates for *upstaged* provenance.
     """
-    cache = PartitionCache(reduced)
+    cache = make_partition_cache(reduced)
     for approximate in approximate_fds(base, threshold, max_lhs):
         if fd_violation_fraction(reduced, approximate.dependency.lhs,
                                  approximate.dependency.rhs, cache) == 0.0:

@@ -121,6 +121,13 @@ class InFine:
         Whether ``mineFDs`` applies the Theorem 4 pruning (ablation knob).
     refine_inferred:
         Whether ``inferFDs`` runs the data-dependent ``refine`` subroutine.
+    session:
+        Optional :class:`repro.session.Session` whose engine state (backend
+        policy, caches, counters) every :meth:`run` executes under.  Without
+        one, runs inherit the ambient state — the enclosing session's
+        activation, or the module-level default.  Prefer
+        :meth:`repro.session.Session.infine`, which also wraps the outcome
+        in a :class:`~repro.session.RunResult`.
     """
 
     def __init__(
@@ -129,6 +136,7 @@ class InFine:
         max_lhs_size: int | None = None,
         use_theorem4: bool = True,
         refine_inferred: bool = True,
+        session=None,
     ) -> None:
         if isinstance(base_algorithm, str):
             base_algorithm = make_algorithm(base_algorithm, max_lhs_size=max_lhs_size)
@@ -136,10 +144,17 @@ class InFine:
         self.max_lhs_size = max_lhs_size
         self.use_theorem4 = use_theorem4
         self.refine_inferred = refine_inferred
+        self.session = session
 
     # -- public API -----------------------------------------------------------
     def run(self, view: ViewSpec, catalog: Mapping[str, Relation]) -> InFineResult:
         """Discover the FDs of ``view`` with their provenance triples."""
+        if self.session is not None:
+            with self.session.activate():
+                return self._run(view, catalog)
+        return self._run(view, catalog)
+
+    def _run(self, view: ViewSpec, catalog: Mapping[str, Relation]) -> InFineResult:
         timings = StepTimings()
         stats = InFineStats()
 

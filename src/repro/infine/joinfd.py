@@ -255,7 +255,12 @@ def mine_join_fds(
             size += 1
 
     outcome.fds = sorted(found, key=FD.sort_key)
-    outcome.partition_backend = get_backend().name
+    # Resolve against the partial join when it was materialised, so the
+    # recorded provenance honours the per-relation backend heuristic the
+    # validation probes actually ran under.
+    outcome.partition_backend = get_backend(
+        len(joined) if joined is not None else None
+    ).name
     if cache is not None:
         outcome.partition_cache_stats = cache.stats.as_dict()
     return outcome

@@ -54,11 +54,15 @@ from .algebra import (
     union,
 )
 from .backend import (
+    EngineState,
     MarkTableCache,
     NumpyBackend,
     PartitionBackend,
     PythonBackend,
+    activate_state,
+    active_state,
     get_backend,
+    kernel_counters,
     numpy_available,
     set_backend,
     use_backend,
@@ -72,6 +76,7 @@ from .partition import (
     fd_holds_fast,
     fd_violation_fraction,
     fd_violation_fraction_from_partition,
+    make_partition_cache,
     validate_level,
     validate_level_errors,
 )
@@ -147,10 +152,15 @@ __all__ = [
     "PythonBackend",
     "NumpyBackend",
     "MarkTableCache",
+    "EngineState",
     "get_backend",
     "set_backend",
     "use_backend",
+    "active_state",
+    "activate_state",
+    "kernel_counters",
     "numpy_available",
+    "make_partition_cache",
     "fd_holds",
     "fd_holds_fast",
     "fd_violation_fraction",

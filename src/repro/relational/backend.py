@@ -20,31 +20,54 @@ is byte-identical regardless of the active backend.
 
 Selection
 ---------
-``get_backend()`` resolves the process-wide backend once:
+Backend choice, cache budgets and counters all live on an *engine state*
+(:class:`EngineState`): the resolved runtime of one
+:class:`~repro.config.EngineConfig`.  ``get_backend(n_rows=None)`` resolves
+against the *active* state (a context variable installed by
+:meth:`repro.session.Session.activate`; when no session is active, a lazy
+module-level default built from the environment — the pre-session
+behaviour):
 
-* the ``REPRO_PARTITION_BACKEND`` environment variable forces ``python`` or
-  ``numpy`` explicitly (``auto`` restores the default);
-* otherwise numpy is used when importable, with a graceful fallback to the
-  pure-python loops (install the ``fast`` extra — ``pip install .[fast]`` —
-  to guarantee the vectorized path).
+* ``EngineConfig.backend`` (defaulting to the ``REPRO_PARTITION_BACKEND``
+  environment variable) forces ``python`` or ``numpy`` explicitly; ``auto``
+  selects numpy whenever importable (install the ``fast`` extra —
+  ``pip install .[fast]`` — to guarantee the vectorized path);
+* under ``auto``, relations smaller than
+  ``EngineConfig.backend_min_numpy_rows`` resolve to the pure-python loops
+  (their lower constant factors beat numpy's fixed per-call cost on micro
+  inputs); pass ``n_rows`` to opt a call site into the heuristic.
 
-``use_backend()`` is a context manager for tests and benchmarks that need to
-pin a backend temporarily.
+``use_backend()``/``set_backend()`` remain as *process-wide test/benchmark
+pins* that take precedence over any session configuration.
 
 The module also hosts the relation-scoped, byte-budgeted
 :class:`MarkTableCache` (the reusable row -> group-id scratch tables of the
-probe algorithms) and the process-wide :class:`KernelCounters` that the
-discovery algorithms snapshot into ``DiscoveryStats.extra``.
+probe algorithms) and the :class:`KernelCounters` incremented by every
+kernel-level cache.  Counters are **state-scoped**: each
+:class:`~repro.session.Session` owns its own instance, so concurrent
+sessions never double-count each other's work; the module-level
+:data:`KERNEL_COUNTERS` is the default state's instance.
 """
 
 from __future__ import annotations
 
 import os
+import weakref
 from array import array
 from collections import OrderedDict
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, fields
 from typing import TYPE_CHECKING, Iterator, Sequence
+
+from ..config import (
+    DEFAULT_COMBINED_CACHE_ENTRIES,
+    DEFAULT_MARKS_CACHE_BYTES,
+    ENV_BACKEND,
+    ENV_COMBINED_CACHE_ENTRIES,
+    ENV_MARKS_CACHE_BYTES,
+    EngineConfig,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from .relation import Relation
@@ -55,23 +78,20 @@ except ImportError:  # pragma: no cover - the container always ships numpy
     _np = None
 
 #: Environment variable forcing the backend (``python`` / ``numpy`` / ``auto``).
-BACKEND_ENV_VAR = "REPRO_PARTITION_BACKEND"
+BACKEND_ENV_VAR = ENV_BACKEND
 
 #: Environment variable overriding the mark-table cache budget in bytes.
-MARKS_BUDGET_ENV_VAR = "REPRO_MARKS_CACHE_BYTES"
+MARKS_BUDGET_ENV_VAR = ENV_MARKS_CACHE_BYTES
 
 #: Default mark-table budget: sixteen ~1M-row tables at 8 bytes per row.
-DEFAULT_MARKS_BUDGET_BYTES = 128 * 1024 * 1024
+DEFAULT_MARKS_BUDGET_BYTES = DEFAULT_MARKS_CACHE_BYTES
 
 #: Environment variable overriding the combined-codes prefix cache size.
-COMBINED_CACHE_ENV_VAR = "REPRO_COMBINED_CODES_CACHE_ENTRIES"
-
-#: Default number of combined-code prefixes cached per relation.
-DEFAULT_COMBINED_CACHE_ENTRIES = 16
+COMBINED_CACHE_ENV_VAR = ENV_COMBINED_CACHE_ENTRIES
 
 
 # ---------------------------------------------------------------------------
-# Process-wide kernel counters (snapshotted into DiscoveryStats.extra).
+# State-scoped kernel counters (snapshotted into DiscoveryStats.extra).
 # ---------------------------------------------------------------------------
 
 
@@ -79,10 +99,13 @@ DEFAULT_COMBINED_CACHE_ENTRIES = 16
 class KernelCounters:
     """Aggregate hit/miss/eviction counters of every kernel-level cache.
 
-    One process-wide instance (:data:`KERNEL_COUNTERS`) is incremented by all
+    Each :class:`EngineState` (and therefore each
+    :class:`~repro.session.Session`) owns one instance, incremented by all
     :class:`MarkTableCache` and ``PartitionCache`` instances and by the
-    per-relation combined-codes prefix caches, so a snapshot/delta pair
-    brackets exactly the kernel work of one discovery run.
+    per-relation combined-codes prefix caches running under that state, so a
+    snapshot/delta pair brackets exactly the kernel work of one discovery
+    run and two concurrent sessions never pollute each other's numbers.
+    :data:`KERNEL_COUNTERS` is the default state's instance.
     """
 
     mark_hits: int = 0
@@ -108,7 +131,8 @@ class KernelCounters:
         return {key: value - before.get(key, 0) for key, value in self.snapshot().items()}
 
 
-#: The process-wide kernel counters.
+#: The default engine state's kernel counters (module-level, for code and
+#: tests running outside any explicit session).
 KERNEL_COUNTERS = KernelCounters()
 
 
@@ -608,63 +632,234 @@ class NumpyBackend(PartitionBackend):
 
 
 # ---------------------------------------------------------------------------
-# Backend selection.
+# Backend resolution and engine state.
 # ---------------------------------------------------------------------------
 
-_ACTIVE_BACKEND: PartitionBackend | None = None
+#: Backend instances are stateless, so each is a module-level singleton (the
+#: identity also matters: ``use_backend`` guarantees ``get_backend() is
+#: before`` after restoring).
+_PYTHON_BACKEND = PythonBackend()
+_NUMPY_BACKEND: NumpyBackend | None = None
+
+#: Process-wide backend pin installed by ``set_backend``/``use_backend``.
+#: Takes precedence over every engine state (it exists for tests and
+#: benchmarks that must force a backend regardless of configuration).
+_FORCED_BACKEND: PartitionBackend | None = None
+
+
+def _numpy_backend() -> NumpyBackend:
+    global _NUMPY_BACKEND
+    if _NUMPY_BACKEND is None:
+        _NUMPY_BACKEND = NumpyBackend()
+    return _NUMPY_BACKEND
 
 
 def _resolve_backend(choice: str) -> PartitionBackend:
     choice = (choice or "auto").strip().lower()
     if choice in ("auto", ""):
-        return NumpyBackend() if _np is not None else PythonBackend()
+        return _numpy_backend() if _np is not None else _PYTHON_BACKEND
     if choice == "python":
-        return PythonBackend()
+        return _PYTHON_BACKEND
     if choice == "numpy":
         if _np is None:
             raise RuntimeError(
-                "REPRO_PARTITION_BACKEND=numpy but numpy is not importable; "
+                "partition backend 'numpy' requested but numpy is not importable; "
                 "install the 'fast' extra (pip install .[fast]) or use auto/python"
             )
-        return NumpyBackend()
+        return _numpy_backend()
     raise ValueError(
         f"unknown partition backend {choice!r}: expected auto, python or numpy"
     )
 
 
-def get_backend() -> PartitionBackend:
-    """The process-wide partition backend (resolved once, lazily)."""
-    global _ACTIVE_BACKEND
-    if _ACTIVE_BACKEND is None:
-        _ACTIVE_BACKEND = _resolve_backend(os.environ.get(BACKEND_ENV_VAR, "auto"))
-    return _ACTIVE_BACKEND
+class _RelationKernelCaches:
+    """The kernel caches one engine state holds for one relation.
+
+    Owned by the state (not the relation), so two concurrent sessions
+    working on the same relation never share mark tables, prefix folds or
+    cache counters.  Entries are dropped automatically when the relation is
+    garbage collected.
+    """
+
+    __slots__ = ("relation_ref", "marks", "combined", "partitions", "__weakref__")
+
+    def __init__(self, relation: "Relation", config: EngineConfig) -> None:
+        self.relation_ref = weakref.ref(relation)
+        #: Byte-budgeted row -> group-id mark tables of the relation.
+        self.marks = MarkTableCache(config.marks_cache_bytes)
+        #: Bounded LRU of hot combined-codes prefixes (tagged by backend name).
+        self.combined: "OrderedDict[tuple[str, ...], tuple[object, int, str]]" = (
+            OrderedDict()
+        )
+        #: Lazily attached ``PartitionCache`` (set by ``Session.partition_cache``;
+        #: lives here so its lifecycle matches the other relation caches).
+        self.partitions = None
+
+
+class EngineState:
+    """The resolved runtime of one :class:`~repro.config.EngineConfig`.
+
+    Owns everything that used to be process-wide: backend resolution policy,
+    kernel counters, and the per-relation kernel caches.  One state is
+    *active* at any point (installed by ``Session.activate()``); a lazy
+    default state built from the environment serves code running outside any
+    session, which is exactly the pre-session behaviour.
+    """
+
+    __slots__ = ("config", "counters", "_relation_caches", "__weakref__")
+
+    def __init__(
+        self,
+        config: EngineConfig | None = None,
+        counters: KernelCounters | None = None,
+    ) -> None:
+        self.config = EngineConfig.from_env() if config is None else config
+        self.counters = KernelCounters() if counters is None else counters
+        self._relation_caches: dict[int, _RelationKernelCaches] = {}
+
+    def backend_for(self, n_rows: int | None = None) -> PartitionBackend:
+        """The backend resolved for a relation of ``n_rows`` rows.
+
+        A process-wide ``use_backend``/``set_backend`` pin wins over the
+        configuration; otherwise the configured backend is honoured, with
+        ``auto`` applying the ``backend_min_numpy_rows`` heuristic whenever
+        the call site supplies ``n_rows``.  Both backends are
+        bit-compatible, so per-relation switching never changes artefacts.
+        """
+        forced = _FORCED_BACKEND
+        if forced is not None:
+            return forced
+        choice = self.config.backend
+        if choice == "numpy":
+            return _resolve_backend("numpy")
+        if choice == "python" or _np is None:
+            return _PYTHON_BACKEND
+        if (
+            n_rows is not None
+            and n_rows < self.config.backend_min_numpy_rows
+        ):
+            return _PYTHON_BACKEND
+        return _numpy_backend()
+
+    def caches_for(self, relation: "Relation") -> _RelationKernelCaches:
+        """This state's kernel caches for ``relation`` (created on first use).
+
+        Entries die with the relation *or* with the state, whichever goes
+        first: the relation-side finalizer only holds a weak reference to
+        the state, so a collected session releases its caches even while
+        the relation lives on.
+        """
+        key = id(relation)
+        entry = self._relation_caches.get(key)
+        if entry is not None and entry.relation_ref() is relation:
+            return entry
+        entry = _RelationKernelCaches(relation, self.config)
+        self._relation_caches[key] = entry
+        state_ref = weakref.ref(self)
+
+        def _drop_entry(state_ref=state_ref, key=key):
+            state = state_ref()
+            if state is not None:
+                state._relation_caches.pop(key, None)
+
+        weakref.finalize(relation, _drop_entry)
+        return entry
+
+    def reset_counters(self) -> None:
+        """Zero the state's kernel counters."""
+        counters = self.counters
+        for field in fields(counters):
+            setattr(counters, field.name, 0)
+
+    def drop_caches(self) -> None:
+        """Release every relation-scoped cache held by the state."""
+        self._relation_caches.clear()
+
+
+#: The active engine state of the current execution context (``None`` means
+#: "use the lazy default state").  Context-variable semantics give each
+#: thread/async task its own activation stack, so concurrent sessions work.
+_ACTIVE_STATE: "ContextVar[EngineState | None]" = ContextVar(
+    "repro_engine_state", default=None
+)
+
+_DEFAULT_STATE: EngineState | None = None
+
+
+def get_default_state() -> EngineState:
+    """The lazy module-level engine state (configured from the environment)."""
+    global _DEFAULT_STATE
+    if _DEFAULT_STATE is None:
+        _DEFAULT_STATE = EngineState(EngineConfig.from_env(), counters=KERNEL_COUNTERS)
+    return _DEFAULT_STATE
+
+
+def active_state() -> EngineState:
+    """The engine state of the current context (default state when no session)."""
+    state = _ACTIVE_STATE.get()
+    return state if state is not None else get_default_state()
+
+
+@contextmanager
+def activate_state(state: EngineState) -> Iterator[EngineState]:
+    """Install ``state`` as the active engine state for the dynamic extent."""
+    token = _ACTIVE_STATE.set(state)
+    try:
+        yield state
+    finally:
+        _ACTIVE_STATE.reset(token)
+
+
+def kernel_counters() -> KernelCounters:
+    """The kernel counters of the active engine state."""
+    return active_state().counters
+
+
+def get_backend(n_rows: int | None = None) -> PartitionBackend:
+    """The partition backend of the active engine state.
+
+    ``n_rows`` (the size of the relation being probed) opts the call site
+    into the per-relation ``backend_min_numpy_rows`` heuristic; without it
+    the nominal backend choice is returned.
+    """
+    forced = _FORCED_BACKEND
+    if forced is not None:
+        return forced
+    return active_state().backend_for(n_rows)
 
 
 def set_backend(backend: PartitionBackend | str | None) -> PartitionBackend | None:
-    """Force the active backend (name or instance); returns the previous one.
+    """Install a process-wide backend pin; returns the previous pin.
 
-    Passing ``None`` resets to lazy environment-based resolution.
+    The pin takes precedence over every session configuration (it is the
+    test/benchmark escape hatch).  Passing ``None`` clears the pin *and*
+    discards the default engine state, so the next resolution re-reads the
+    environment.
     """
-    global _ACTIVE_BACKEND
-    previous = _ACTIVE_BACKEND
+    global _FORCED_BACKEND, _DEFAULT_STATE
+    previous = _FORCED_BACKEND
     if backend is None:
-        _ACTIVE_BACKEND = None
+        _FORCED_BACKEND = None
+        _DEFAULT_STATE = None
     elif isinstance(backend, str):
-        _ACTIVE_BACKEND = _resolve_backend(backend)
+        _FORCED_BACKEND = _resolve_backend(backend)
     else:
-        _ACTIVE_BACKEND = backend
+        _FORCED_BACKEND = backend
     return previous
 
 
 @contextmanager
 def use_backend(backend: PartitionBackend | str) -> Iterator[PartitionBackend]:
-    """Temporarily pin the active backend (tests / benchmarks)."""
-    previous = set_backend(backend)
+    """Temporarily pin the backend process-wide (tests / benchmarks)."""
+    global _FORCED_BACKEND
+    previous = _FORCED_BACKEND
+    _FORCED_BACKEND = (
+        _resolve_backend(backend) if isinstance(backend, str) else backend
+    )
     try:
-        yield get_backend()
+        yield _FORCED_BACKEND
     finally:
-        global _ACTIVE_BACKEND
-        _ACTIVE_BACKEND = previous
+        _FORCED_BACKEND = previous
 
 
 def numpy_available() -> bool:
@@ -754,16 +949,17 @@ class MarkTableCache:
 
     def get(self, partition) -> Sequence[int]:
         """The mark table of ``partition`` (built on miss, LRU-refreshed on hit)."""
+        counters = kernel_counters()
         key = id(partition)
         entry = self._entries.get(key)
         if entry is not None and entry[0] is partition:
             self.stats.hits += 1
-            KERNEL_COUNTERS.mark_hits += 1
+            counters.mark_hits += 1
             self._entries.move_to_end(key)
             return entry[1]
         self.stats.misses += 1
-        KERNEL_COUNTERS.mark_misses += 1
-        marks = get_backend().build_marks(
+        counters.mark_misses += 1
+        marks = get_backend(partition.n_rows).build_marks(
             partition.positions, partition.offsets, partition.n_rows
         )
         table_bytes = self._table_bytes(partition.n_rows)
@@ -774,8 +970,8 @@ class MarkTableCache:
             self._held_bytes -= evicted_bytes
             self.stats.evictions += 1
             self.stats.evicted_bytes += evicted_bytes
-            KERNEL_COUNTERS.mark_evictions += 1
-            KERNEL_COUNTERS.mark_evicted_bytes += evicted_bytes
+            counters.mark_evictions += 1
+            counters.mark_evicted_bytes += evicted_bytes
         return marks
 
     @property
@@ -792,14 +988,22 @@ class MarkTableCache:
 DEFAULT_MARK_CACHE = MarkTableCache()
 
 
-def kernel_stats_summary() -> dict[str, object]:
-    """Process-wide kernel statistics (active backend + aggregate counters)."""
-    return {"backend": get_backend().name, **KERNEL_COUNTERS.snapshot()}
+def kernel_stats_summary(state: EngineState | None = None) -> dict[str, object]:
+    """Kernel statistics of ``state`` (default: the active engine state).
+
+    The counters are scoped to the state, so a fresh
+    :class:`~repro.session.Session` reports exactly its own kernel work —
+    runs in other sessions (or earlier CLI invocations in the same process)
+    never leak into the numbers.
+    """
+    if state is None:
+        state = active_state()
+    return {"backend": state.backend_for().name, **state.counters.snapshot()}
 
 
-def render_kernel_stats() -> str:
+def render_kernel_stats(state: EngineState | None = None) -> str:
     """Human-readable one-block rendering of :func:`kernel_stats_summary`."""
-    summary = kernel_stats_summary()
+    summary = kernel_stats_summary(state)
     lines = [f"[kernel] backend={summary.pop('backend')}"]
     lines.append(
         "[kernel] mark cache: "

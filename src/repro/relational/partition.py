@@ -47,9 +47,10 @@ from typing import Iterable, Iterator, Sequence
 
 from .backend import (
     DEFAULT_MARK_CACHE,
-    KERNEL_COUNTERS,
     MarkTableCache,
+    active_state,
     get_backend,
+    kernel_counters,
 )
 from .relation import Relation
 
@@ -88,7 +89,7 @@ class StrippedPartition:
             if len(group) > 1:
                 positions.extend(group)
                 offsets.append(len(positions))
-        self.positions, self.offsets = get_backend().adopt_flat(positions, offsets)
+        self.positions, self.offsets = get_backend(n_rows).adopt_flat(positions, offsets)
         self.n_rows = n_rows
         self._groups_cache: tuple[tuple[int, ...], ...] | None = None
         self._mark_cache: MarkTableCache | None = None
@@ -115,7 +116,7 @@ class StrippedPartition:
     def from_column(cls, relation: Relation, attribute: str) -> "StrippedPartition":
         """Build the stripped partition of a single attribute."""
         codes, n_codes, counts = relation._encode_column(attribute)
-        positions, offsets = get_backend().group_by_codes(codes, n_codes, counts)
+        positions, offsets = get_backend(len(relation)).group_by_codes(codes, n_codes, counts)
         return cls._from_flat(positions, offsets, len(relation), relation.mark_cache)
 
     @classmethod
@@ -128,7 +129,7 @@ class StrippedPartition:
             return partition
         if len(attributes) == 1:
             return cls.from_column(relation, attributes[0])
-        backend = get_backend()
+        backend = get_backend(len(relation))
         codes, n_codes = backend.encode_columns(relation, attributes)
         positions, offsets = backend.group_by_codes(codes, n_codes)
         return cls._from_flat(positions, offsets, len(relation), relation.mark_cache)
@@ -217,7 +218,7 @@ class StrippedPartition:
         if self.n_rows != other.n_rows:
             raise ValueError("cannot intersect partitions over different relations")
         mark_cache = self._mark_cache if self._mark_cache is not None else other._mark_cache
-        backend = get_backend()
+        backend = get_backend(self.n_rows)
         if len(self.positions) == 0 or len(other.positions) == 0:
             # A key on either side leaves only singletons in the product.
             empty_positions, empty_offsets = backend.adopt_flat([], [0])
@@ -244,7 +245,7 @@ class StrippedPartition:
         if len(self.positions) == 0:
             return True
         marks = _marks_of(other)
-        return get_backend().refines_marks(self.positions, self.offsets, marks)
+        return get_backend(self.n_rows).refines_marks(self.positions, self.offsets, marks)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, StrippedPartition):
@@ -322,20 +323,21 @@ class PartitionCache:
 
     def get(self, attributes: Iterable[str]) -> StrippedPartition:
         """Return (computing and caching if needed) the partition of ``attributes``."""
+        counters = kernel_counters()
         key = frozenset(attributes)
         cached = self._pinned.get(key)
         if cached is not None:
             self.stats.hits += 1
-            KERNEL_COUNTERS.partition_hits += 1
+            counters.partition_hits += 1
             return cached
         cached = self._lru.get(key)
         if cached is not None:
             self.stats.hits += 1
-            KERNEL_COUNTERS.partition_hits += 1
+            counters.partition_hits += 1
             self._lru.move_to_end(key)
             return cached
         self.stats.misses += 1
-        KERNEL_COUNTERS.partition_misses += 1
+        counters.partition_misses += 1
         partition = self._compute(key)
         self._store(key, partition)
         return partition
@@ -378,13 +380,14 @@ class PartitionCache:
         self._held_positions += partition.stripped_size
         if self.max_positions is None:
             return
+        counters = kernel_counters()
         while self._held_positions > self.max_positions and len(self._lru) > 1:
             _, evicted = self._lru.popitem(last=False)
             self._held_positions -= evicted.stripped_size
             self.stats.evictions += 1
             self.stats.evicted_positions += evicted.stripped_size
-            KERNEL_COUNTERS.partition_evictions += 1
-            KERNEL_COUNTERS.partition_evicted_positions += evicted.stripped_size
+            counters.partition_evictions += 1
+            counters.partition_evicted_positions += evicted.stripped_size
 
     @property
     def held_positions(self) -> int:
@@ -393,6 +396,22 @@ class PartitionCache:
 
     def __len__(self) -> int:
         return len(self._pinned) + len(self._lru)
+
+
+def make_partition_cache(
+    relation: Relation, max_positions: int | None = None
+) -> PartitionCache:
+    """A :class:`PartitionCache` configured from the active engine state.
+
+    ``max_positions`` defaults to the active
+    :class:`~repro.config.EngineConfig`'s
+    ``partition_cache_max_positions`` (``None`` = unbounded); an explicit
+    argument always wins.  Algorithm-owned caches go through this helper so
+    a :class:`~repro.session.Session` can bound their memory in one place.
+    """
+    if max_positions is None:
+        max_positions = active_state().config.partition_cache_max_positions
+    return PartitionCache(relation, max_positions=max_positions)
 
 
 def fd_holds(relation: Relation, lhs: Iterable[str], rhs: str,
@@ -406,7 +425,7 @@ def fd_holds(relation: Relation, lhs: Iterable[str], rhs: str,
     if rhs in lhs:
         return True
     if cache is None:
-        cache = PartitionCache(relation)
+        cache = make_partition_cache(relation)
     lhs_partition = cache.get(lhs)
     full_partition = cache.get(list(lhs) + [rhs])
     return lhs_partition.error == full_partition.error
@@ -426,7 +445,7 @@ def fd_holds_fast(
     almost free; the numpy backend answers with one boolean-mask pass.
     """
     codes, _ = relation.column_codes(rhs)
-    return get_backend().constant_within_groups(
+    return get_backend(len(relation)).constant_within_groups(
         lhs_partition.positions, lhs_partition.offsets, codes
     )
 
@@ -447,7 +466,7 @@ def fd_violation_fraction_from_partition(
     if not n_rows:
         return 0.0
     codes, _ = relation.column_codes(rhs)
-    removals = get_backend().g3_removals(
+    removals = get_backend(n_rows).g3_removals(
         lhs_partition.positions, lhs_partition.offsets, codes
     )
     return removals / n_rows
@@ -462,7 +481,7 @@ def fd_violation_fraction(relation: Relation, lhs: Iterable[str], rhs: str,
     if rhs in lhs:
         return 0.0
     if cache is None:
-        cache = PartitionCache(relation)
+        cache = make_partition_cache(relation)
     return fd_violation_fraction_from_partition(relation, cache.get(lhs), rhs)
 
 
@@ -484,7 +503,10 @@ def validate_level(
     backend pass: the numpy backend stacks their RHS code columns and
     probes all of them with one boolean-mask comparison, the python backend
     falls back to the early-exit scan per candidate.  Verdicts come back in
-    input order and are bit-identical across backends.
+    input order and are bit-identical across backends — and identical again
+    when batching is disabled through the active engine configuration
+    (``EngineConfig.batch_validation`` / ``batch_min_candidates``), which
+    replays the scalar per-candidate loop.
     """
     if not candidates:
         return []
@@ -492,9 +514,19 @@ def validate_level(
     if not len(relation):
         # Every FD holds vacuously on an empty instance.
         return results
-    backend = get_backend()
-    KERNEL_COUNTERS.batched_levels += 1
-    KERNEL_COUNTERS.batched_candidates += len(candidates)
+    state = active_state()
+    backend = get_backend(len(relation))
+    if not _should_batch(state, len(candidates)):
+        for index, (partition, rhs) in enumerate(candidates):
+            if len(partition.positions) == 0:
+                continue  # a superkey LHS validates every RHS
+            codes, _ = relation.column_codes(rhs)
+            results[index] = backend.constant_within_groups(
+                partition.positions, partition.offsets, codes
+            )
+        return results
+    state.counters.batched_levels += 1
+    state.counters.batched_candidates += len(candidates)
     for partition, indices in _group_by_partition(candidates):
         if len(partition.positions) == 0:
             continue  # a superkey LHS validates every RHS
@@ -523,9 +555,18 @@ def validate_level_errors(
     errors = [0.0] * len(candidates)
     if not n_rows:
         return errors
-    backend = get_backend()
-    KERNEL_COUNTERS.batched_levels += 1
-    KERNEL_COUNTERS.batched_candidates += len(candidates)
+    state = active_state()
+    backend = get_backend(n_rows)
+    if not _should_batch(state, len(candidates)):
+        for index, (partition, rhs) in enumerate(candidates):
+            if len(partition.positions) == 0:
+                continue  # a superkey LHS violates nothing
+            codes, _ = relation.column_codes(rhs)
+            removed = backend.g3_removals(partition.positions, partition.offsets, codes)
+            errors[index] = removed / n_rows
+        return errors
+    state.counters.batched_levels += 1
+    state.counters.batched_candidates += len(candidates)
     for partition, indices in _group_by_partition(candidates):
         if len(partition.positions) == 0:
             continue  # a superkey LHS violates nothing
@@ -536,6 +577,12 @@ def validate_level_errors(
         for index, removed in zip(indices, removals):
             errors[index] = removed / n_rows
     return errors
+
+
+def _should_batch(state, n_candidates: int) -> bool:
+    """Whether the active configuration admits batching this candidate set."""
+    config = state.config
+    return config.batch_validation and n_candidates >= config.batch_min_candidates
 
 
 def _group_by_partition(

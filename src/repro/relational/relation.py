@@ -12,39 +12,25 @@ can produce them.
 
 from __future__ import annotations
 
-import os
 from array import array
-from collections import Counter, OrderedDict, defaultdict
+from collections import Counter, defaultdict
 from typing import Any, Callable, Hashable, Iterable, Iterator, Mapping, Sequence
 
-from .backend import (
-    COMBINED_CACHE_ENV_VAR,
-    DEFAULT_COMBINED_CACHE_ENTRIES,
-    KERNEL_COUNTERS,
-    MarkTableCache,
-    get_backend,
-)
+from .backend import MarkTableCache, active_state, get_backend
 from .schema import Attribute, RelationSchema, SchemaError
 
 #: The NULL marker used throughout the substrate.
 NULL = None
 
-_COMBINED_CACHE_ENTRIES: int | None = None
-
 
 def _combined_cache_entries() -> int:
-    """Per-relation combined-codes prefix cache size (env-overridable, cached)."""
-    global _COMBINED_CACHE_ENTRIES
-    if _COMBINED_CACHE_ENTRIES is None:
-        raw = os.environ.get(COMBINED_CACHE_ENV_VAR)
-        size = DEFAULT_COMBINED_CACHE_ENTRIES
-        if raw:
-            try:
-                size = max(2, int(raw))
-            except ValueError:
-                pass
-        _COMBINED_CACHE_ENTRIES = size
-    return _COMBINED_CACHE_ENTRIES
+    """Per-relation combined-codes prefix cache size of the active engine state.
+
+    Kept as a module-level helper for backward compatibility; the bound now
+    comes from the active :class:`~repro.config.EngineConfig` (whose default
+    is parsed from ``REPRO_COMBINED_CODES_CACHE_ENTRIES``).
+    """
+    return active_state().config.combined_codes_cache_entries
 
 
 class RelationError(ValueError):
@@ -71,8 +57,8 @@ class Relation:
         "_rows",
         "_column_index_cache",
         "_column_codes_cache",
-        "_combined_codes_cache",
         "_mark_cache",
+        "__weakref__",
     )
 
     def __init__(
@@ -98,10 +84,8 @@ class Relation:
         self._rows: tuple[tuple[Any, ...], ...] = tuple(materialised)
         self._column_index_cache: dict[str, dict[Hashable, list[int]]] = {}
         self._column_codes_cache: dict[str, tuple[array, int, list[int]]] = {}
-        # Bounded LRU of hot combined-code prefixes, tagged by backend name.
-        self._combined_codes_cache: "OrderedDict[tuple[str, ...], tuple[Any, int, str]]" = (
-            OrderedDict()
-        )
+        # Explicit mark-cache override (tests / embedders); ``None`` means
+        # "use the active engine state's relation-scoped cache".
         self._mark_cache: MarkTableCache | None = None
 
     # -- basic protocol -------------------------------------------------------
@@ -263,27 +247,30 @@ class Relation:
         ``(codes, n_codes)`` like :meth:`column_codes`.
 
         Hot prefixes (``attributes[:k]`` for ``k >= 2``) are memoised in a
-        small per-relation LRU (``REPRO_COMBINED_CODES_CACHE_ENTRIES``
-        entries, default 16), so repeated partition builds over overlapping
-        attribute sequences stop recomputing the shared fold steps.  The
-        returned sequence may be such a cached object: treat it as
-        read-only.
+        small per-relation LRU owned by the active engine state
+        (``EngineConfig.combined_codes_cache_entries``, default 16 or
+        ``REPRO_COMBINED_CODES_CACHE_ENTRIES``), so repeated partition builds
+        over overlapping attribute sequences stop recomputing the shared
+        fold steps.  The returned sequence may be such a cached object:
+        treat it as read-only.
         """
         if not attributes:
             raise RelationError("combined_column_codes needs at least one attribute")
-        backend = get_backend()
+        state = active_state()
+        backend = get_backend(len(self._rows))
         if len(attributes) == 1:
             codes, width = self.column_codes(attributes[0])
             return backend.initial_codes(codes), width
 
+        counters = state.counters
         key = tuple(attributes)
-        cache = self._combined_codes_cache
+        cache = state.caches_for(self).combined
         entry = cache.get(key)
         if entry is not None and entry[2] == backend.name:
             cache.move_to_end(key)
-            KERNEL_COUNTERS.combined_prefix_hits += 1
+            counters.combined_prefix_hits += 1
             return entry[0], entry[1]
-        KERNEL_COUNTERS.combined_prefix_misses += 1
+        counters.combined_prefix_misses += 1
 
         # Resume from the longest cached prefix folded under the same backend.
         combined = None
@@ -293,36 +280,45 @@ class Relation:
             prefix = cache.get(key[:length])
             if prefix is not None and prefix[2] == backend.name:
                 cache.move_to_end(key[:length])
-                KERNEL_COUNTERS.combined_prefix_hits += 1
+                counters.combined_prefix_hits += 1
                 combined, width = prefix[0], prefix[1]
                 start = length
                 break
         if combined is None:
             first_codes, width = self.column_codes(key[0])
             combined = backend.initial_codes(first_codes)
+        max_entries = state.config.combined_codes_cache_entries
         for index in range(start, len(key)):
             nxt, radix = self.column_codes(key[index])
             combined, width = backend.combine_codes(combined, width, nxt, radix)
-            self._store_combined_prefix(key[: index + 1], combined, width, backend.name)
+            cache[key[: index + 1]] = (combined, width, backend.name)
+            cache.move_to_end(key[: index + 1])
+            while len(cache) > max_entries:
+                cache.popitem(last=False)
+                counters.combined_prefix_evictions += 1
         return combined, width
 
-    def _store_combined_prefix(
-        self, key: tuple[str, ...], codes: Sequence[int], width: int, backend_name: str
-    ) -> None:
-        cache = self._combined_codes_cache
-        cache[key] = (codes, width, backend_name)
-        cache.move_to_end(key)
-        while len(cache) > _combined_cache_entries():
-            cache.popitem(last=False)
-            KERNEL_COUNTERS.combined_prefix_evictions += 1
+    @property
+    def _combined_codes_cache(self):
+        """The active engine state's combined-codes prefix LRU for this relation.
+
+        Kept as a (read-mostly) property for backward compatibility with code
+        and tests that introspected the old per-relation attribute; storage
+        is session-scoped now.
+        """
+        return active_state().caches_for(self).combined
 
     @property
     def mark_cache(self) -> MarkTableCache:
-        """The relation-scoped byte-budgeted mark-table cache (lazy)."""
+        """The relation-scoped byte-budgeted mark-table cache.
+
+        Owned by the active engine state (each session has its own budgeted
+        instance per relation); an explicitly assigned cache
+        (``relation._mark_cache = MarkTableCache(...)``) overrides it.
+        """
         cache = self._mark_cache
         if cache is None:
-            cache = MarkTableCache()
-            self._mark_cache = cache
+            return active_state().caches_for(self).marks
         return cache
 
     # -- derivations ----------------------------------------------------------
