@@ -1,0 +1,223 @@
+"""Throughput/latency benchmark of the multi-tenant serving layer.
+
+Measures the programmatic :class:`repro.serve.Server` path (pool + queue +
+worker execution, no HTTP socket noise) under a fixed multi-tenant job mix —
+each tenant submits interleaved ``validate``/``profile``/``discover``
+requests against its own relation — while sweeping the worker-pool size
+(1/2/4/8/16 by default)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --label serve
+
+For each worker count the bench records wall-clock throughput (jobs/s) and
+per-job latency percentiles (p50/p95, submission to completion).  Results
+merge under their label into ``BENCH_serve.json`` (repo root), following the
+conventions of ``bench_partition_kernel.py``; the headline number is the
+throughput at the largest worker count.
+
+Scaling expectation: the kernel is CPU-bound Python/numpy, so thread
+workers mostly overlap queue/serialisation overhead and the numpy kernel's
+GIL-releasing stretches — the interesting signals are (a) the serving
+overhead at ``workers=1`` versus bare sequential session calls and (b) the
+point where GIL contention starts to cost (throughput should stay within a
+few percent of the bare baseline across the sweep, not collapse).
+
+Scale comes from ``REPRO_BENCH_SCALE`` (``tiny``/``small``/``medium``/
+``large`` or an explicit row count).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import statistics
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.relational.relation import Relation  # noqa: E402
+from repro.serve import JobRequest, Server  # noqa: E402
+from repro.session import Session  # noqa: E402
+
+#: Rows of each tenant's relation per named scale.
+SCALE_ROWS = {"tiny": 300, "small": 1_500, "medium": 5_000, "large": 15_000}
+
+#: (attribute, cardinality as a function of n_rows) of the tenant relations.
+COLUMN_SPECS = (
+    ("flag", lambda n: 2),
+    ("grade", lambda n: 5),
+    ("city", lambda n: 40),
+    ("dept", lambda n: max(2, n // 100)),
+    ("account", lambda n: max(4, n // 20)),
+    ("region", lambda n: 3),
+)
+
+
+def _resolve_rows(scale: str) -> int:
+    if scale in SCALE_ROWS:
+        return SCALE_ROWS[scale]
+    try:
+        return max(10, int(float(scale) * SCALE_ROWS["small"]))
+    except ValueError:
+        raise SystemExit(f"unknown REPRO_BENCH_SCALE {scale!r}")
+
+
+def build_relation(name: str, n_rows: int, seed: int) -> Relation:
+    rng = random.Random(seed)
+    names = tuple(name for name, _ in COLUMN_SPECS)
+    cards = [max(1, card(n_rows)) for _, card in COLUMN_SPECS]
+    rows = [
+        tuple(f"{col}_{rng.randrange(card)}" for (col, _), card in zip(COLUMN_SPECS, cards))
+        for _ in range(n_rows)
+    ]
+    return Relation(name, names, rows)
+
+
+def tenant_requests(tenant: str, relation: Relation, jobs: int) -> list[JobRequest]:
+    """An interleaved validate/profile/discover mix of ``jobs`` requests."""
+    mix = [
+        JobRequest(
+            tenant=tenant,
+            kind="validate",
+            relation=relation,
+            params={"fds": ["dept -> flag", "account -> grade", "city,region -> dept"]},
+        ),
+        JobRequest(
+            tenant=tenant,
+            kind="profile",
+            relation=relation,
+            params={"threshold": 0.3, "max_lhs": 2},
+        ),
+        JobRequest(
+            tenant=tenant,
+            kind="discover",
+            relation=relation,
+            params={"algorithm": "tane", "max_lhs_size": 2},
+        ),
+    ]
+    return [mix[i % len(mix)] for i in range(jobs)]
+
+
+def bench_workers(workers: int, requests_by_tenant: dict[str, list[JobRequest]]) -> dict:
+    """Run the full job mix through a fresh server; returns timing stats."""
+    n_tenants = len(requests_by_tenant)
+    total_jobs = sum(len(reqs) for reqs in requests_by_tenant.values())
+    with Server(
+        workers=workers,
+        max_queue=total_jobs,
+        max_inflight_per_tenant=1,
+        max_sessions=n_tenants,
+    ) as server:
+        started = time.perf_counter()
+        tickets = []
+        # Round-robin submission: all tenants contend from the first job on.
+        for round_requests in zip(*requests_by_tenant.values()):
+            for request in round_requests:
+                tickets.append(server.submit(request))
+        jobs = [server.queue.get(ticket.job_id) for ticket in tickets]
+        for job in jobs:
+            if not job.wait(600):
+                raise SystemExit(f"job {job.job_id} did not finish")
+        elapsed = time.perf_counter() - started
+        failed = [job for job in jobs if job.status != "done"]
+        if failed:
+            raise SystemExit(f"{len(failed)} jobs failed: {failed[0].error}")
+        latencies = sorted(job.finished_at - job.submitted_at for job in jobs)
+    return {
+        "workers": workers,
+        "jobs": total_jobs,
+        "tenants": n_tenants,
+        "wall_seconds": round(elapsed, 6),
+        "throughput_jobs_per_s": round(total_jobs / elapsed, 3),
+        "latency_p50_s": round(statistics.median(latencies), 6),
+        "latency_p95_s": round(latencies[max(0, int(len(latencies) * 0.95) - 1)], 6),
+    }
+
+
+def bench_bare_baseline(requests_by_tenant: dict[str, list[JobRequest]]) -> float:
+    """Sequential bare-session execution of the same mix (no serving layer)."""
+    from repro.serve import execute_request
+
+    started = time.perf_counter()
+    for tenant, requests in requests_by_tenant.items():
+        session = Session()
+        for request in requests:
+            execute_request(session, request)
+    return time.perf_counter() - started
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", default="serve", help="run label merged into the output JSON")
+    default_output = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+    parser.add_argument(
+        "--output", default=str(default_output), help="path of the JSON trajectory file"
+    )
+    parser.add_argument("--tenants", type=int, default=4)
+    parser.add_argument("--jobs-per-tenant", type=int, default=9)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="*",
+        default=[1, 2, 4, 8, 16],
+        help="worker-pool sizes to sweep",
+    )
+    args = parser.parse_args(argv)
+
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small")
+    n_rows = _resolve_rows(scale)
+    requests_by_tenant = {
+        f"tenant-{i}": tenant_requests(
+            f"tenant-{i}",
+            build_relation(f"rel_{i}", n_rows, seed=7 + i),
+            args.jobs_per_tenant,
+        )
+        for i in range(args.tenants)
+    }
+
+    bare_seconds = bench_bare_baseline(requests_by_tenant)
+    sweeps = [bench_workers(workers, requests_by_tenant) for workers in args.workers]
+    result = {
+        "n_rows": n_rows,
+        "tenants": args.tenants,
+        "jobs_per_tenant": args.jobs_per_tenant,
+        "bare_sequential_seconds": round(bare_seconds, 6),
+        "sweep": sweeps,
+        "headline_throughput_jobs_per_s": sweeps[-1]["throughput_jobs_per_s"],
+    }
+
+    output = Path(args.output)
+    data: dict = {"schema_version": 1, "runs": {}}
+    if output.exists():
+        try:
+            data = json.loads(output.read_text())
+        except json.JSONDecodeError:
+            pass
+    data.setdefault("runs", {})[args.label] = {"scale": scale, **result}
+    output.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+    print(
+        f"[bench_serve] scale={scale} rows/tenant={n_rows} "
+        f"tenants={args.tenants} jobs/tenant={args.jobs_per_tenant}"
+    )
+    print(
+        f"  bare sequential: {bare_seconds:.3f} s "
+        f"({args.tenants * args.jobs_per_tenant / bare_seconds:.1f} jobs/s)"
+    )
+    for sweep in sweeps:
+        print(
+            f"  workers={sweep['workers']:<3} "
+            f"throughput={sweep['throughput_jobs_per_s']:8.1f} jobs/s  "
+            f"p50={sweep['latency_p50_s'] * 1000:7.1f} ms  "
+            f"p95={sweep['latency_p95_s'] * 1000:7.1f} ms"
+        )
+    print(f"  -> merged into {output} under label {args.label!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Fail when a fresh benchmark run regresses against the committed baseline.
+
+The CI ``bench-smoke`` job reruns ``bench_partition_kernel.py`` at
+``REPRO_BENCH_SCALE=small`` into a scratch JSON and gates the build on the
+``vectorized`` headline (summed ``intersect`` + ``refines``)::
+
+    python benchmarks/check_regression.py \\
+        --baseline BENCH_partitions.json --fresh fresh_bench.json \\
+        --label vectorized --max-regression 0.30
+
+Exit status 1 (with a diff message) when
+``fresh > baseline * (1 + max_regression)``; improvements and small noise
+pass.  ``--metric`` selects another scalar from the run record
+(e.g. ``seconds.g3`` using dotted paths).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _metric(run: dict, path: str) -> float:
+    value = run
+    for part in path.split("."):
+        try:
+            value = value[part]
+        except (KeyError, TypeError):
+            raise SystemExit(
+                f"metric {path!r} not found in run record "
+                f"(available top-level keys: {sorted(run)})"
+            ) from None
+    if not isinstance(value, (int, float)):
+        raise SystemExit(f"metric {path!r} is not a number: {value!r}")
+    return float(value)
+
+
+def _load_run(path: Path, label: str) -> dict:
+    try:
+        data = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SystemExit(f"benchmark file not found: {path}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"benchmark file {path} is not valid JSON: {exc}")
+    runs = data.get("runs", {})
+    if label not in runs:
+        raise SystemExit(f"label {label!r} not found in {path} (available: {sorted(runs)})")
+    return runs[label]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        required=True,
+        help="committed benchmark JSON (the trajectory file)",
+    )
+    parser.add_argument(
+        "--fresh", type=Path, required=True, help="benchmark JSON produced by the fresh run"
+    )
+    parser.add_argument(
+        "--label", default="vectorized", help="run label to compare (default: vectorized)"
+    )
+    parser.add_argument(
+        "--metric",
+        default="headline_intersect_refines",
+        help="dotted path of the scalar to gate on (default: headline_intersect_refines)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="allowed fractional slowdown, e.g. 0.30 = +30%% (default: 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = _metric(_load_run(args.baseline, args.label), args.metric)
+    fresh = _metric(_load_run(args.fresh, args.label), args.metric)
+    if baseline <= 0:
+        raise SystemExit(f"baseline metric {args.metric!r} must be positive, got {baseline!r}")
+    limit = baseline * (1.0 + args.max_regression)
+    change = (fresh - baseline) / baseline
+    verdict = "OK" if fresh <= limit else "REGRESSION"
+    print(
+        f"[check_regression] {args.label}/{args.metric}: "
+        f"baseline={baseline * 1000:.2f} ms fresh={fresh * 1000:.2f} ms "
+        f"({change:+.1%}, limit +{args.max_regression:.0%}) -> {verdict}"
+    )
+    if fresh > limit:
+        print(
+            f"fresh {args.metric} exceeds the allowed "
+            f"+{args.max_regression:.0%} envelope over the committed baseline; "
+            f"either fix the slowdown or re-baseline "
+            f"{args.baseline} with a justification in the PR."
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""Submit → poll → fetch against the multi-tenant serving endpoint.
+
+This example is fully self-contained: it boots the HTTP serving endpoint
+in-process on an ephemeral port (exactly what ``python -m repro serve``
+runs), then acts as a plain HTTP client against it — build a
+``repro/job-request-v1`` payload, ``POST /jobs``, poll ``GET /jobs/<id>``
+until the job is terminal, and reconstruct the ``RunResult`` from the
+``result`` field of the status payload.
+
+Against a real deployment, drop the server-bootstrap block and point
+``HOST``/``PORT`` at the running endpoint.
+"""
+
+import http.client
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.config import parse_tenant_configs  # noqa: E402
+from repro.relational.relation import Relation  # noqa: E402
+from repro.serve import HttpFrontend, Server, relation_to_payload  # noqa: E402
+from repro.session import RunResult  # noqa: E402
+
+
+def call(host, port, method, path, body=None):
+    """One JSON request/response round-trip against the endpoint."""
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        payload = None if body is None else json.dumps(body)
+        connection.request(method, path, payload, {"Content-Type": "application/json"})
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def main():
+    # -- server bootstrap (replace with a running `python -m repro serve`) ----
+    tenant_configs = parse_tenant_configs({"clinic": {"backend": "auto"}})
+    server = Server(tenant_configs=tenant_configs, workers=2, max_queue=16)
+    frontend = HttpFrontend(server, port=0).start()
+    host, port = frontend.address
+    print(f"serving on http://{host}:{port}")
+
+    try:
+        # -- build a job request ---------------------------------------------
+        relation = Relation(
+            "patient",
+            ("subject_id", "gender", "expire_flag"),
+            [
+                (249, "F", 0),
+                (250, "F", 1),
+                (251, "M", 0),
+                (252, "M", 0),
+                (250, "F", 1),
+                (249, "F", 0),
+            ],
+        )
+        request = {
+            "schema": "repro/job-request-v1",
+            "tenant": "clinic",
+            "kind": "discover",
+            "relation": relation_to_payload(relation),
+            "params": {"algorithm": "tane"},
+            "overrides": {},
+        }
+
+        # -- submit -----------------------------------------------------------
+        status, ticket = call(host, port, "POST", "/jobs", request)
+        print(f"POST /jobs -> {status} ticket={ticket['job_id']} ({ticket['status']})")
+
+        # -- poll until terminal ----------------------------------------------
+        deadline = time.monotonic() + 30
+        while True:
+            status, body = call(host, port, "GET", f"/jobs/{ticket['job_id']}")
+            if body["status"] in ("done", "failed", "cancelled"):
+                break
+            if time.monotonic() > deadline:
+                raise SystemExit("job did not finish in time")
+            time.sleep(0.05)
+        print(f"GET /jobs/{ticket['job_id']} -> {body['status']}")
+
+        # -- fetch the RunResult ----------------------------------------------
+        # The result field is a repro/run-result-v1 payload: byte-identical to
+        # what the same request would produce through a bare Session.
+        result = RunResult(body["result"])
+        print(f"backend={result.backend} fds={len(result)}")
+        for dependency in sorted(result.fds, key=lambda fd: str(fd)):
+            print(f"  {dependency}")
+    finally:
+        frontend.stop()
+        server.close()
+
+
+if __name__ == "__main__":
+    main()

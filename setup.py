@@ -3,11 +3,12 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-infine",
-    version="0.3.0",
+    version="0.4.0",
     description="Reproduction of InFine (ICDE 2022): FD profiling of SPJ views",
     package_dir={"": "src"},
     packages=find_packages("src"),
-    python_requires=">=3.10",
+    # 3.9 is exercised in CI (annotations are PEP 563 strings throughout).
+    python_requires=">=3.9",
     extras_require={
         # Optional vectorized partition backend (``pip install .[fast]``);
         # the kernel gracefully falls back to the pure-python loops when

@@ -14,6 +14,10 @@ against TANE and HyFD, at a larger scale::
 Run everything and save the rendered tables under ``results/``::
 
     python -m repro all --output results/
+
+Start the multi-tenant HTTP serving endpoint (see :mod:`repro.serve.cli`)::
+
+    python -m repro serve --workers 8 --max-queue 256 --tenant-config tenants.json
 """
 
 from __future__ import annotations
@@ -40,6 +44,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-infine",
         description="Reproduce the tables and figures of the InFine paper (ICDE 2022).",
+        epilog="The multi-tenant serving endpoint has its own flag surface: "
+        "see `repro-infine serve --help`.",
     )
     parser.add_argument("command", choices=_COMMANDS, help="which artefact to regenerate")
     parser.add_argument(
@@ -105,7 +111,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     Every invocation runs under its own :class:`~repro.session.Session`
     (environment-variable defaults, ``--backend`` overriding the backend), so
     ``--kernel-stats`` reports exactly this invocation's kernel work.
+
+    ``serve`` is dispatched before the artefact parser: it has its own flag
+    surface (workers, queue bounds, tenant configs) and blocks on the HTTP
+    endpoint instead of rendering tables.
     """
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        from .serve.cli import main_serve
+
+        return main_serve(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
     session = Session(backend=args.backend)

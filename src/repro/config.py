@@ -175,6 +175,21 @@ class EngineConfig:
             batch_validation=_env_bool(env, ENV_BATCH_VALIDATION, True),
         )
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "EngineConfig":
+        """Build a configuration from a JSON-native mapping of field values.
+
+        The inverse of :meth:`as_dict` (and the parser of per-tenant config
+        files for the serving layer): unknown keys raise :class:`ConfigError`,
+        missing keys keep their built-in defaults, ``None`` values mean
+        "default" (mirroring :meth:`replace`).
+        """
+        if not isinstance(data, Mapping):
+            raise ConfigError(
+                f"engine configuration must be a mapping, got {type(data).__name__}"
+            )
+        return cls().replace(**dict(data))
+
     def replace(self, **overrides) -> "EngineConfig":
         """A copy with ``overrides`` applied; ``None`` values mean "keep".
 
@@ -201,3 +216,63 @@ class EngineConfig:
         """
         canonical = json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# Per-tenant configuration (the serving layer's tenant model).
+# ---------------------------------------------------------------------------
+
+#: Tenant-config key holding the defaults applied to tenants with no entry.
+TENANT_DEFAULT_KEY = "*"
+
+
+def parse_tenant_configs(
+    data: Mapping[str, Mapping[str, object]],
+) -> dict[str, EngineConfig]:
+    """Parse a ``{tenant: {field: value}}`` mapping into per-tenant configs.
+
+    The wire/file format of ``python -m repro serve --tenant-config``: each
+    key is a tenant name, each value a partial :class:`EngineConfig` mapping
+    (unknown fields raise :class:`ConfigError`, naming the offending tenant).
+    The special key ``"*"`` configures the *default* applied to tenants
+    without an explicit entry; explicit entries are layered on top of it, so
+
+    .. code-block:: json
+
+        {"*": {"backend": "python"},
+         "acme": {"marks_cache_bytes": 1048576}}
+
+    gives ``acme`` the python backend *and* the 1 MiB budget.
+    """
+    if not isinstance(data, Mapping):
+        raise ConfigError(
+            f"tenant configuration must be a mapping, got {type(data).__name__}"
+        )
+    base = EngineConfig()
+    default_fields = data.get(TENANT_DEFAULT_KEY)
+    if default_fields is not None:
+        try:
+            base = base.replace(**dict(default_fields))
+        except (ConfigError, TypeError, ValueError) as exc:
+            raise ConfigError(f"tenant {TENANT_DEFAULT_KEY!r}: {exc}") from exc
+    configs: dict[str, EngineConfig] = {TENANT_DEFAULT_KEY: base}
+    for tenant, fields in data.items():
+        if tenant == TENANT_DEFAULT_KEY:
+            continue
+        if not isinstance(tenant, str) or not tenant:
+            raise ConfigError(f"tenant names must be non-empty strings, got {tenant!r}")
+        try:
+            configs[tenant] = base.replace(**dict(fields))
+        except (ConfigError, TypeError, ValueError) as exc:
+            raise ConfigError(f"tenant {tenant!r}: {exc}") from exc
+    return configs
+
+
+def load_tenant_configs(path: "os.PathLike[str] | str") -> dict[str, EngineConfig]:
+    """Load :func:`parse_tenant_configs` input from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"tenant config {path}: invalid JSON ({exc})") from exc
+    return parse_tenant_configs(data)

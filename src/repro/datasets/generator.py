@@ -60,7 +60,9 @@ class SyntheticTableBuilder:
         self.rng = rng
         self._columns: list[tuple[str, Callable[[int, random.Random], object]]] = []
 
-    def column(self, name: str, make: Callable[[int, random.Random], object]) -> "SyntheticTableBuilder":
+    def column(
+        self, name: str, make: Callable[[int, random.Random], object]
+    ) -> "SyntheticTableBuilder":
         """Add a column computed by ``make(row_index, rng)``."""
         self._columns.append((name, make))
         return self

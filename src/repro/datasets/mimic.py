@@ -110,7 +110,8 @@ def _admissions(
     dangling_ids: list[int],
     n_admissions: int,
 ) -> Relation:
-    """``admissions(subject_id, admittime, admission_location, insurance, diagnosis, h_expire_flag)``."""
+    """``admissions(subject_id, admittime, admission_location, insurance,
+    diagnosis, h_expire_flag)``."""
     # A few admissions reference patients that are not in the patients table
     # (simulating the partial extract of the paper), so the join also drops
     # admission rows and can upstage admission-side AFDs.
@@ -122,7 +123,10 @@ def _admissions(
     h_expire_of = {sid: 1 if rng.random() < 0.15 else 0 for sid in set(subject_ids)}
     rows = []
     for i, subject_id in enumerate(subject_ids):
-        admittime = f"{2100 + i % 50:04d}-{1 + i % 12:02d}-{1 + i % 28:02d} {i % 24:02d}:{(i * 7) % 60:02d}"
+        admittime = (
+            f"{2100 + i % 50:04d}-{1 + i % 12:02d}-{1 + i % 28:02d} "
+            f"{i % 24:02d}:{(i * 7) % 60:02d}"
+        )
         location = rng.choice(_ADMISSION_LOCATIONS)
         insurance = insurance_of[subject_id]
         stem = rng.choice(_DIAGNOSIS_STEMS)
@@ -131,7 +135,8 @@ def _admissions(
         rows.append((subject_id, admittime, location, insurance, diagnosis, h_expire_flag))
     return Relation(
         "admissions",
-        ("subject_id", "admittime", "admission_location", "insurance", "diagnosis", "h_expire_flag"),
+        ("subject_id", "admittime", "admission_location", "insurance", "diagnosis",
+         "h_expire_flag"),
         rows,
     )
 

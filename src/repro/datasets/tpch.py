@@ -39,7 +39,8 @@ DEFAULT_ROWS = {
 
 _SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY")
 _PRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW")
-_MANUFACTURERS = ("Manufacturer#1", "Manufacturer#2", "Manufacturer#3", "Manufacturer#4", "Manufacturer#5")
+_MANUFACTURERS = ("Manufacturer#1", "Manufacturer#2", "Manufacturer#3",
+                  "Manufacturer#4", "Manufacturer#5")
 _SHIP_MODES = ("AIR", "RAIL", "SHIP", "TRUCK", "MAIL")
 
 
@@ -60,7 +61,8 @@ def generate_tpch(profile: DatasetProfile | None = None) -> dict[str, Relation]:
     region = Relation(
         "region",
         ("regionkey", "r_name"),
-        [(i, name) for i, name in enumerate(("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")[:n_region])],
+        [(i, name) for i, name
+         in enumerate(("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")[:n_region])],
     )
     region_keys = region.column("regionkey")
 
@@ -84,7 +86,8 @@ def generate_tpch(profile: DatasetProfile | None = None) -> dict[str, Relation]:
         nationkey = rng.choice(nation_keys)
         segment = rng.choice(_SEGMENTS)
         customer_rows.append((2000 + i, f"Customer#{i:05d}", nationkey, segment))
-    customer = Relation("customer", ("custkey", "c_name", "c_nationkey", "c_mktsegment"), customer_rows)
+    customer = Relation("customer", ("custkey", "c_name", "c_nationkey", "c_mktsegment"),
+                        customer_rows)
     cust_keys = customer.column("custkey")
 
     part_rows = []
@@ -105,8 +108,10 @@ def generate_tpch(profile: DatasetProfile | None = None) -> dict[str, Relation]:
         if (partkey, suppkey) in seen_ps:
             continue
         seen_ps.add((partkey, suppkey))
-        partsupp_rows.append((partkey, suppkey, rng.randint(1, 9999), round(rng.uniform(1, 1000), 2)))
-    partsupp = Relation("partsupp", ("partkey", "suppkey", "ps_availqty", "ps_supplycost"), partsupp_rows)
+        partsupp_rows.append(
+            (partkey, suppkey, rng.randint(1, 9999), round(rng.uniform(1, 1000), 2)))
+    partsupp = Relation("partsupp", ("partkey", "suppkey", "ps_availqty", "ps_supplycost"),
+                        partsupp_rows)
 
     # Orders: a small fraction of customers never order (dangling customers),
     # order priority determines ship priority (planted FD).
@@ -114,7 +119,8 @@ def generate_tpch(profile: DatasetProfile | None = None) -> dict[str, Relation]:
         rng, cust_keys, n_orders, coverage=0.995,
         dangling_pool=[2999_000 + i for i in range(3)], zipf=0.7,
     )
-    status_of_priority = {"1-URGENT": "F", "2-HIGH": "F", "3-MEDIUM": "O", "4-NOT SPECIFIED": "O", "5-LOW": "P"}
+    status_of_priority = {"1-URGENT": "F", "2-HIGH": "F", "3-MEDIUM": "O",
+                          "4-NOT SPECIFIED": "O", "5-LOW": "P"}
     orders_rows = []
     for i, custkey in enumerate(order_customers):
         priority = rng.choice(_PRIORITIES)
@@ -149,7 +155,8 @@ def generate_tpch(profile: DatasetProfile | None = None) -> dict[str, Relation]:
         linestatus = "F" if i % 3 else "O"
         returnflag = {"F": "R", "O": "N"}[linestatus]
         lineitem_rows.append(
-            (orderkey, partkey, suppkey, i % 7 + 1, quantity, mode, tax_of_mode[mode], linestatus, returnflag)
+            (orderkey, partkey, suppkey, i % 7 + 1, quantity, mode, tax_of_mode[mode],
+             linestatus, returnflag)
         )
     lineitem = Relation(
         "lineitem",

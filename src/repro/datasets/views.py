@@ -72,7 +72,8 @@ def _mimic_views() -> list[ViewCase]:
 
 def _ptc_views() -> list[ViewCase]:
     atom_molecule = join(base("atom"), base("molecule"), on="molecule_id")
-    connected_bond = join(base("connected"), base("bond"), on="connected_bond_id", right_on="bond_id")
+    connected_bond = join(base("connected"), base("bond"), on="connected_bond_id",
+                          right_on="bond_id")
     connected_bond_molecule = join(
         connected_bond, base("molecule"), on="bond_molecule_id", right_on="molecule_id"
     )
@@ -89,7 +90,8 @@ def _ptc_views() -> list[ViewCase]:
         ),
         ViewCase(
             "ptc/connected_bond", "ptc", "connected ⋈ bond", connected_bond,
-            "Atom-bond adjacency joined with bond descriptors (equi-join on differently named keys).",
+            "Atom-bond adjacency joined with bond descriptors "
+            "(equi-join on differently named keys).",
         ),
         ViewCase(
             "ptc/connected_bond_molecule", "ptc", "[connected ⋈ bond] ⋈ molecule",

@@ -102,7 +102,9 @@ class FDDiscoveryAlgorithm(ABC):
         )
 
     @abstractmethod
-    def _run(self, relation: Relation, attributes: tuple[str, ...]) -> tuple[Iterable[FD], DiscoveryStats]:
+    def _run(
+        self, relation: Relation, attributes: tuple[str, ...]
+    ) -> tuple[Iterable[FD], DiscoveryStats]:
         """Algorithm-specific implementation."""
 
     def _resolve_attributes(

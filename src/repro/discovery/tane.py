@@ -11,8 +11,6 @@ is decided by comparing stripped-partition errors.
 
 from __future__ import annotations
 
-from itertools import combinations
-
 from ..fd.fd import FD
 from ..relational.partition import (
     StrippedPartition,

@@ -113,7 +113,7 @@ def mine_join_fds(
 
     left_side = set(left_instance.attribute_names)
     right_side = set(right_instance.attribute_names)
-    dropped_right = {r for l, r in zip(left_on, right_on) if l == r}
+    dropped_right = {rgt for lft, rgt in zip(left_on, right_on) if lft == rgt}
     output_attrs = tuple(left_instance.attribute_names) + tuple(
         a for a in right_instance.attribute_names if a not in dropped_right
     )

@@ -67,7 +67,10 @@ class AccuracyBreakdown:
 
     def as_dict(self) -> dict[str, float]:
         """Row-friendly rendering (used by the Table III report)."""
-        result = {f"{step}_accuracy": round(self.step_accuracy(step), 4) for step in BREAKDOWN_STEPS}
+        result = {
+            f"{step}_accuracy": round(self.step_accuracy(step), 4)
+            for step in BREAKDOWN_STEPS
+        }
         result["total_accuracy"] = round(self.total_accuracy, 4)
         result["fd_count"] = self.reference_count
         return result

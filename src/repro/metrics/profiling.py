@@ -34,7 +34,9 @@ class ProfileResult:
         return self.peak_memory_bytes / (1024 * 1024)
 
 
-def profile_call(fn: Callable[..., T], *args: Any, trace_memory: bool = True, **kwargs: Any) -> ProfileResult:
+def profile_call(
+    fn: Callable[..., T], *args: Any, trace_memory: bool = True, **kwargs: Any
+) -> ProfileResult:
     """Run ``fn(*args, **kwargs)`` measuring wall-clock time and peak memory.
 
     ``tracemalloc`` adds noticeable overhead; pass ``trace_memory=False`` for

@@ -103,7 +103,7 @@ def _joined_schema(
     definitions in this repository use globally unique attribute names except
     for shared join attributes, mirroring the paper's examples.
     """
-    dropped = {r for l, r in zip(left_on, right_on) if l == r}
+    dropped = {rgt for lft, rgt in zip(left_on, right_on) if lft == rgt}
     kept_right = [a for a in right.attribute_names if a not in dropped]
     collisions = set(kept_right) & set(left.attribute_names)
     if collisions:
@@ -158,9 +158,9 @@ def equi_join(
     # Positions of left join columns whose right counterpart was dropped
     # (same name); only those are back-filled for unmatched right rows.
     left_on_positions = {
-        left.schema.index_of(l): i
-        for i, (l, r) in enumerate(zip(left_on, right_on))
-        if l == r
+        left.schema.index_of(lft): i
+        for i, (lft, rgt) in enumerate(zip(left_on, right_on))
+        if lft == rgt
     }
 
     right_index: dict[tuple[Any, ...], list[int]] = defaultdict(list)

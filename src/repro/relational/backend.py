@@ -52,6 +52,7 @@ sessions never double-count each other's work; the module-level
 from __future__ import annotations
 
 import os
+import threading
 import weakref
 from array import array
 from collections import OrderedDict
@@ -61,7 +62,6 @@ from dataclasses import dataclass, fields
 from typing import TYPE_CHECKING, Iterator, Sequence
 
 from ..config import (
-    DEFAULT_COMBINED_CACHE_ENTRIES,
     DEFAULT_MARKS_CACHE_BYTES,
     ENV_BACKEND,
     ENV_COMBINED_CACHE_ENTRIES,
@@ -785,13 +785,24 @@ _ACTIVE_STATE: "ContextVar[EngineState | None]" = ContextVar(
 
 _DEFAULT_STATE: EngineState | None = None
 
+#: Guards the lazy construction of the default state: concurrent first
+#: resolutions (e.g. several serving workers probing outside any session)
+#: must all observe the same state instance.
+_DEFAULT_STATE_LOCK = threading.Lock()
+
 
 def get_default_state() -> EngineState:
     """The lazy module-level engine state (configured from the environment)."""
     global _DEFAULT_STATE
-    if _DEFAULT_STATE is None:
-        _DEFAULT_STATE = EngineState(EngineConfig.from_env(), counters=KERNEL_COUNTERS)
-    return _DEFAULT_STATE
+    state = _DEFAULT_STATE
+    if state is None:
+        with _DEFAULT_STATE_LOCK:
+            state = _DEFAULT_STATE
+            if state is None:
+                state = _DEFAULT_STATE = EngineState(
+                    EngineConfig.from_env(), counters=KERNEL_COUNTERS
+                )
+    return state
 
 
 def active_state() -> EngineState:
@@ -932,7 +943,7 @@ class MarkTableCache:
     strong reference to their partition, which keeps the ``id()`` key valid.
     """
 
-    __slots__ = ("budget_bytes", "stats", "_entries", "_held_bytes")
+    __slots__ = ("budget_bytes", "stats", "_entries", "_held_bytes", "__weakref__")
 
     def __init__(self, budget_bytes: int | None = None) -> None:
         #: Byte budget of the held mark tables (``None`` -> env / default).

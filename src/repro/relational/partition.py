@@ -41,6 +41,7 @@ tuple-of-tuples view remains available through the backward-compatible
 
 from __future__ import annotations
 
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
@@ -59,7 +60,8 @@ def _marks_of(partition: "StrippedPartition") -> Sequence[int]:
     """Row position -> group id (or -1 for stripped singletons) of ``partition``.
 
     Served from the partition's relation-scoped mark cache (falling back to
-    the process-wide default for partitions built without a relation).
+    the process-wide default for partitions built without a relation, or
+    whose weakly-bound cache died with its session).
     """
     cache = partition._mark_cache
     if cache is None:
@@ -79,7 +81,7 @@ class StrippedPartition:
         the number of singleton classes and compute errors).
     """
 
-    __slots__ = ("positions", "offsets", "n_rows", "_groups_cache", "_mark_cache")
+    __slots__ = ("positions", "offsets", "n_rows", "_groups_cache", "_mark_cache_ref")
 
     def __init__(self, groups: Iterable[Sequence[int]], n_rows: int) -> None:
         positions: list[int] = []
@@ -92,7 +94,26 @@ class StrippedPartition:
         self.positions, self.offsets = get_backend(n_rows).adopt_flat(positions, offsets)
         self.n_rows = n_rows
         self._groups_cache: tuple[tuple[int, ...], ...] | None = None
-        self._mark_cache: MarkTableCache | None = None
+        self._mark_cache_ref: "weakref.ref[MarkTableCache] | None" = None
+
+    @property
+    def _mark_cache(self) -> MarkTableCache | None:
+        """The weakly-bound mark cache this partition was built under.
+
+        The bound cache belongs to an engine state (one session's caches for
+        one relation); holding it weakly means a partition that outlives its
+        session never pins the dead session's tables in memory — once the
+        owning state is collected, probes fall back to
+        :data:`~repro.relational.backend.DEFAULT_MARK_CACHE`.
+        """
+        ref = self._mark_cache_ref
+        if ref is None:
+            return None
+        return ref()
+
+    @_mark_cache.setter
+    def _mark_cache(self, cache: MarkTableCache | None) -> None:
+        self._mark_cache_ref = None if cache is None else weakref.ref(cache)
 
     @classmethod
     def _from_flat(
@@ -108,7 +129,7 @@ class StrippedPartition:
         partition.offsets = offsets
         partition.n_rows = n_rows
         partition._groups_cache = None
-        partition._mark_cache = mark_cache
+        partition._mark_cache = mark_cache  # weakly bound (see the property)
         return partition
 
     # -- construction ---------------------------------------------------------

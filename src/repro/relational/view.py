@@ -200,7 +200,7 @@ class JoinSpec(ViewSpec):
             return left_attrs
         if self.kind is JoinKind.RIGHT_SEMI:
             return right_attrs
-        dropped = {r for l, r in zip(self.left_on, self.right_on) if l == r}
+        dropped = {rgt for lft, rgt in zip(self.left_on, self.right_on) if lft == rgt}
         return left_attrs + tuple(a for a in right_attrs if a not in dropped)
 
     def base_relation_names(self) -> tuple[str, ...]:
@@ -218,7 +218,7 @@ class JoinSpec(ViewSpec):
 
     def describe(self) -> str:
         condition = " AND ".join(
-            f"{l} = {r}" for l, r in zip(self.left_on, self.right_on)
+            f"{lft} = {rgt}" for lft, rgt in zip(self.left_on, self.right_on)
         )
         return (
             f"({self.left.describe()} {self.kind.symbol} {self.right.describe()}"

@@ -1,0 +1,81 @@
+"""Multi-tenant serving layer over :class:`repro.Session`.
+
+The sessions of PR 3 are perfect isolation primitives — explicit
+configuration, relation-scoped caches, private counters, byte-identical
+JSON artefacts — but single-process and synchronous.  This package puts the
+engine behind a concurrent front door:
+
+* :class:`~repro.serve.pool.SessionPool` — one lazily created
+  :class:`~repro.session.Session` per tenant key (each with its own
+  :class:`~repro.config.EngineConfig`, caches and counters), LRU-capped;
+  eviction only drops caches, so it is always safe.
+* :class:`~repro.serve.jobs.JobQueue` — a bounded thread-pool queue with
+  explicit job states (``queued``/``running``/``done``/``failed``/
+  ``cancelled``), backpressure (:class:`~repro.serve.jobs.QueueFull` once
+  ``max_queue`` jobs wait), per-tenant fairness (a cap on in-flight jobs per
+  tenant) and queue-wait timeouts.
+* :mod:`~repro.serve.protocol` — the JSON wire format:
+  :class:`~repro.serve.protocol.JobRequest` in,
+  :class:`~repro.serve.protocol.JobTicket` out, results as the existing
+  :class:`~repro.session.RunResult` payloads (already canonical JSON).
+* :class:`~repro.serve.server.Server` — the programmatic API tying pool and
+  queue together — and :class:`~repro.serve.server.HttpFrontend`, a blocking
+  stdlib ``http.server`` endpoint (``POST /jobs``, ``GET /jobs/<id>``,
+  ``DELETE /jobs/<id>``, ``GET /healthz``, ``GET /stats``).
+
+``python -m repro serve`` starts the HTTP endpoint from the command line
+(see :mod:`repro.serve.cli`).
+"""
+
+from .jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    JOB_STATES,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobQueue,
+    QueueClosed,
+    QueueFull,
+)
+from .pool import SessionPool
+from .protocol import (
+    JOB_REQUEST_SCHEMA,
+    JOB_STATUS_SCHEMA,
+    JOB_TICKET_SCHEMA,
+    REQUEST_KINDS,
+    JobRequest,
+    JobTicket,
+    ProtocolError,
+    execute_request,
+    relation_from_payload,
+    relation_to_payload,
+)
+from .server import HttpFrontend, Server
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "JOB_REQUEST_SCHEMA",
+    "JOB_STATES",
+    "JOB_STATUS_SCHEMA",
+    "JOB_TICKET_SCHEMA",
+    "QUEUED",
+    "REQUEST_KINDS",
+    "RUNNING",
+    "HttpFrontend",
+    "Job",
+    "JobQueue",
+    "JobRequest",
+    "JobTicket",
+    "ProtocolError",
+    "QueueClosed",
+    "QueueFull",
+    "Server",
+    "SessionPool",
+    "execute_request",
+    "relation_from_payload",
+    "relation_to_payload",
+]

@@ -1,0 +1,116 @@
+"""``python -m repro serve`` — the multi-tenant HTTP serving endpoint.
+
+Examples
+--------
+Serve on the default port with four workers::
+
+    python -m repro serve
+
+Size the worker pool and the backpressure bound, and give tenants their own
+engine configurations::
+
+    python -m repro serve --workers 8 --max-queue 256 \\
+        --tenant-config tenants.json
+
+where ``tenants.json`` maps tenant names to partial
+:class:`~repro.config.EngineConfig` fields (``"*"`` sets the default)::
+
+    {"*": {"backend": "auto"},
+     "acme": {"backend": "python", "marks_cache_bytes": 1048576}}
+
+Submit work with ``examples/serve_client.py`` or any HTTP client: ``POST
+/jobs`` a ``repro/job-request-v1`` payload, poll ``GET /jobs/<id>``, read
+the ``result`` field (a ``repro/run-result-v1`` payload, byte-identical to
+a bare session run) once ``status`` is ``done``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from ..config import ConfigError, load_tenant_configs
+from .server import HttpFrontend, Server
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    """The argument parser of the ``serve`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-infine serve",
+        description="Serve FD discovery/validation/profiling jobs over HTTP "
+        "with one isolated engine session per tenant.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8750, help="bind port (0 picks an ephemeral port)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="job-queue worker threads (default: 4)"
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="backpressure bound on waiting jobs; submissions "
+        "beyond it receive HTTP 429 (default: 64)",
+    )
+    parser.add_argument(
+        "--max-inflight-per-tenant",
+        type=int,
+        default=1,
+        help="fairness cap on one tenant's concurrently running "
+        "jobs (default: 1, which also serialises each tenant's "
+        "work on its session)",
+    )
+    parser.add_argument(
+        "--max-sessions",
+        type=int,
+        default=64,
+        help="LRU cap on pooled tenant sessions (default: 64)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="default queue-wait timeout in seconds; jobs still "
+        "queued past it are cancelled (default: none)",
+    )
+    parser.add_argument(
+        "--tenant-config",
+        default=None,
+        metavar="PATH",
+        help="JSON file mapping tenant names to partial "
+        "EngineConfig fields ('*' sets the default)",
+    )
+    parser.add_argument("--verbose", action="store_true", help="log every HTTP request to stderr")
+    return parser
+
+
+def main_serve(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``python -m repro serve`` (blocks until interrupted)."""
+    args = build_serve_parser().parse_args(argv)
+    try:
+        tenant_configs = load_tenant_configs(args.tenant_config) if args.tenant_config else None
+    except (OSError, ConfigError) as exc:
+        print(f"error: {exc}")
+        return 2
+    server = Server(
+        tenant_configs=tenant_configs,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        max_inflight_per_tenant=args.max_inflight_per_tenant,
+        default_timeout=args.timeout,
+        max_sessions=args.max_sessions,
+    )
+    frontend = HttpFrontend(server, host=args.host, port=args.port, verbose=args.verbose)
+    host, port = frontend.address
+    banner = f"serving on http://{host}:{port} (workers={args.workers}, max-queue={args.max_queue})"
+    print(banner, flush=True)
+    try:
+        frontend.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        print("shutting down")
+    finally:
+        frontend.stop()
+        server.close()
+    return 0

@@ -1,0 +1,317 @@
+"""The thread-pool job queue of the serving layer.
+
+A bounded FIFO with explicit job states, backpressure and per-tenant
+fairness:
+
+* **states** — ``queued`` → ``running`` → ``done``/``failed``; a queued job
+  can also become ``cancelled`` (explicitly, or by exceeding its queue-wait
+  timeout).  Running jobs are never interrupted — Python threads cannot be
+  preempted safely — so a cancel/timeout only affects jobs still waiting.
+* **backpressure** — at most ``max_queue`` jobs wait; further submissions
+  raise :class:`QueueFull` immediately (the HTTP frontend maps this to 429)
+  instead of buffering unboundedly.
+* **fairness** — at most ``max_inflight_per_tenant`` jobs of one tenant run
+  concurrently; workers skip over a flooding tenant's queued jobs to pick
+  the first eligible one, so a single tenant can delay but never starve the
+  others.  The default of ``1`` also serialises each tenant's work on its
+  pooled session, which keeps per-session caches free of data races.
+
+All state transitions happen under one lock; completion is signalled through
+a per-job :class:`threading.Event`, so waiters never poll.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Any, Callable
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: Every job state, in lifecycle order.
+JOB_STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+
+#: States a job can no longer leave.
+_TERMINAL = frozenset({DONE, FAILED, CANCELLED})
+
+
+class QueueFull(RuntimeError):
+    """Raised when a submission exceeds the queue's backpressure bound."""
+
+
+class QueueClosed(RuntimeError):
+    """Raised when submitting to a queue that has been closed."""
+
+
+class Job:
+    """One queued unit of work and its lifecycle record.
+
+    All mutation happens inside the owning :class:`JobQueue` (under its
+    lock); user code reads the attributes and :meth:`wait`\\ s on completion.
+    """
+
+    __slots__ = (
+        "job_id",
+        "tenant",
+        "kind",
+        "status",
+        "result",
+        "error",
+        "submitted_at",
+        "started_at",
+        "finished_at",
+        "_fn",
+        "_deadline",
+        "_done_event",
+    )
+
+    def __init__(
+        self,
+        job_id: str,
+        tenant: str,
+        fn: Callable[[], Any],
+        kind: str = "",
+        timeout: float | None = None,
+    ) -> None:
+        self.job_id = job_id
+        self.tenant = tenant
+        self.kind = kind
+        self.status = QUEUED
+        self.result: Any = None
+        self.error: str | None = None
+        self.submitted_at = time.time()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self._fn: "Callable[[], Any] | None" = fn
+        self._deadline = None if timeout is None else time.monotonic() + timeout
+        self._done_event = threading.Event()
+
+    @property
+    def finished(self) -> bool:
+        """Whether the job reached a terminal state."""
+        return self.status in _TERMINAL
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job is terminal; ``False`` on wait timeout."""
+        return self._done_event.wait(timeout)
+
+    def __repr__(self) -> str:
+        return f"Job({self.job_id!r}, tenant={self.tenant!r}, status={self.status!r})"
+
+
+class JobQueue:
+    """Bounded, tenant-fair thread-pool queue.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker threads executing jobs.
+    max_queue:
+        Backpressure bound on *waiting* jobs; beyond it :meth:`submit`
+        raises :class:`QueueFull`.
+    max_inflight_per_tenant:
+        Fairness cap: at most this many jobs of one tenant run concurrently
+        (``1`` additionally serialises each tenant's work on its session).
+    default_timeout:
+        Default queue-wait timeout in seconds applied to submissions that do
+        not pass their own; jobs still queued past their deadline are
+        cancelled instead of run (``None`` = wait forever).
+    max_finished_retained:
+        How many terminal jobs stay pollable; older ones are forgotten
+        (their :meth:`get` then raises :class:`KeyError`, HTTP 404).
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        max_queue: int = 64,
+        max_inflight_per_tenant: int = 1,
+        default_timeout: float | None = None,
+        max_finished_retained: int = 1024,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be at least 1, got {workers}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be at least 1, got {max_queue}")
+        if max_inflight_per_tenant < 1:
+            raise ValueError(
+                f"max_inflight_per_tenant must be at least 1, got {max_inflight_per_tenant}"
+            )
+        self.workers = workers
+        self.max_queue = max_queue
+        self.max_inflight_per_tenant = max_inflight_per_tenant
+        self.default_timeout = default_timeout
+        self.max_finished_retained = max_finished_retained
+        self._lock = threading.Lock()
+        self._work_ready = threading.Condition(self._lock)
+        self._pending: list[Job] = []
+        self._jobs: dict[str, Job] = {}
+        self._finished_order: list[str] = []
+        self._inflight: dict[str, int] = {}
+        self._ids = itertools.count(1)
+        self._closed = False
+        self._counters = {
+            "submitted": 0,
+            "rejected": 0,
+            "done": 0,
+            "failed": 0,
+            "cancelled": 0,
+            "expired": 0,
+        }
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-serve-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission and lookup -------------------------------------------------
+    def submit(
+        self,
+        tenant: str,
+        fn: Callable[[], Any],
+        kind: str = "",
+        timeout: float | None = None,
+    ) -> Job:
+        """Enqueue ``fn`` for ``tenant``; raises :class:`QueueFull`/:class:`QueueClosed`."""
+        if timeout is None:
+            timeout = self.default_timeout
+        with self._lock:
+            if self._closed:
+                raise QueueClosed("the job queue has been closed")
+            if len(self._pending) >= self.max_queue:
+                self._counters["rejected"] += 1
+                raise QueueFull(f"job queue is full ({self.max_queue} jobs waiting); retry later")
+            job = Job(f"job-{next(self._ids):08d}", tenant, fn, kind=kind, timeout=timeout)
+            self._jobs[job.job_id] = job
+            self._pending.append(job)
+            self._counters["submitted"] += 1
+            self._work_ready.notify()
+            return job
+
+    def get(self, job_id: str) -> Job:
+        """The job with ``job_id``; raises :class:`KeyError` when unknown/expired."""
+        with self._lock:
+            return self._jobs[job_id]
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a still-queued job; ``False`` if it already started/finished."""
+        with self._lock:
+            job = self._jobs[job_id]
+            if job.status != QUEUED:
+                return False
+            self._pending.remove(job)
+            self._finish_locked(job, CANCELLED, error="cancelled by client")
+            self._counters["cancelled"] += 1
+            return True
+
+    # -- lifecycle ---------------------------------------------------------------
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Stop accepting work, cancel queued jobs, wait for running ones.
+
+        Running jobs finish normally (threads cannot be preempted); queued
+        jobs are cancelled.  Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                pending = []
+            else:
+                self._closed = True
+                pending, self._pending = self._pending, []
+                for job in pending:
+                    self._finish_locked(job, CANCELLED, error="queue closed")
+                    self._counters["cancelled"] += 1
+            self._work_ready.notify_all()
+        for thread in self._threads:
+            thread.join(timeout)
+
+    def __enter__(self) -> "JobQueue":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def stats(self) -> dict[str, int]:
+        """Submission/outcome counters plus current queue depth and running count."""
+        with self._lock:
+            return {
+                **self._counters,
+                "queued": len(self._pending),
+                "running": sum(self._inflight.values()),
+                "workers": self.workers,
+                "max_queue": self.max_queue,
+            }
+
+    # -- worker internals ----------------------------------------------------
+    def _finish_locked(self, job: Job, status: str, error: str | None = None) -> None:
+        job.status = status
+        job.error = error
+        job.finished_at = time.time()
+        job._fn = None
+        self._finished_order.append(job.job_id)
+        while len(self._finished_order) > self.max_finished_retained:
+            self._jobs.pop(self._finished_order.pop(0), None)
+        job._done_event.set()
+
+    def _pop_eligible_locked(self) -> Job | None:
+        """Pop the first runnable pending job (FIFO, skipping capped tenants).
+
+        Queued jobs past their deadline are cancelled on the way — expiry
+        needs no timer thread because an expired job, by definition, is
+        still in the queue when a worker scans it.
+        """
+        now = time.monotonic()
+        kept: list[Job] = []
+        chosen: Job | None = None
+        for job in self._pending:
+            if chosen is not None:
+                kept.append(job)
+            elif job._deadline is not None and job._deadline < now:
+                self._finish_locked(job, CANCELLED, error="timed out waiting in queue")
+                self._counters["expired"] += 1
+            elif self._inflight.get(job.tenant, 0) >= self.max_inflight_per_tenant:
+                kept.append(job)
+            else:
+                chosen = job
+        self._pending = kept
+        return chosen
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._work_ready:
+                job = self._pop_eligible_locked()
+                while job is None:
+                    if self._closed:
+                        return
+                    self._work_ready.wait()
+                    job = self._pop_eligible_locked()
+                job.status = RUNNING
+                job.started_at = time.time()
+                self._inflight[job.tenant] = self._inflight.get(job.tenant, 0) + 1
+                fn = job._fn
+            try:
+                result = fn()
+            except Exception as exc:  # noqa: BLE001 - job errors become payloads
+                outcome, result, error = FAILED, None, f"{type(exc).__name__}: {exc}"
+            else:
+                outcome, error = DONE, None
+            with self._work_ready:
+                job.result = result
+                self._finish_locked(job, outcome, error=error)
+                self._counters["done" if outcome == DONE else "failed"] += 1
+                count = self._inflight.get(job.tenant, 0) - 1
+                if count > 0:
+                    self._inflight[job.tenant] = count
+                else:
+                    self._inflight.pop(job.tenant, None)
+                # A freed tenant slot (or the finished job itself) may make a
+                # previously skipped job eligible: wake every waiting worker.
+                self._work_ready.notify_all()

@@ -1,0 +1,310 @@
+"""The serving front door: programmatic :class:`Server` + HTTP endpoint.
+
+:class:`Server` ties a :class:`~repro.serve.pool.SessionPool` to a
+:class:`~repro.serve.jobs.JobQueue`: submissions are validated eagerly
+(malformed payloads never enter the queue), executed on the tenant's pooled
+session by a worker thread, and polled as ``repro/job-status-v1`` payloads
+whose ``result`` field is the untouched ``repro/run-result-v1`` JSON.
+
+:class:`HttpFrontend` exposes the same four operations over a blocking
+stdlib ``http.server`` endpoint (one thread per connection; the real
+concurrency bound is the job queue's worker pool):
+
+====== =================== ==========================================
+POST   ``/jobs``           submit a job request → 202 ticket, 429 full
+GET    ``/jobs/<id>``      poll → 200 status payload, 404 unknown
+DELETE ``/jobs/<id>``      cancel a queued job → 200 ``{"cancelled": ...}``
+GET    ``/healthz``        liveness → 200 ``{"status": "ok"}``
+GET    ``/stats``          queue + pool counters
+====== =================== ==========================================
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping
+
+from ..config import ConfigError, EngineConfig
+from ..session import RunResult
+from .jobs import DONE, Job, JobQueue, QueueClosed, QueueFull
+from .pool import SessionPool
+from .protocol import (
+    JOB_STATUS_SCHEMA,
+    JobRequest,
+    JobTicket,
+    ProtocolError,
+    execute_request,
+)
+
+
+class Server:
+    """The programmatic multi-tenant serving API.
+
+    Parameters mirror the ``python -m repro serve`` flags: ``workers`` and
+    ``max_queue`` size the :class:`JobQueue`, ``tenant_configs`` (the output
+    of :func:`repro.config.parse_tenant_configs`) and ``max_sessions`` size
+    the :class:`SessionPool`, ``max_inflight_per_tenant`` caps per-tenant
+    concurrency and ``default_timeout`` bounds queue waits.
+
+    Usable as a context manager; :meth:`close` cancels queued jobs, waits
+    for running ones and closes every pooled session.
+    """
+
+    def __init__(
+        self,
+        tenant_configs: Mapping[str, EngineConfig] | None = None,
+        workers: int = 4,
+        max_queue: int = 64,
+        max_inflight_per_tenant: int = 1,
+        default_timeout: float | None = None,
+        max_sessions: int = 64,
+    ) -> None:
+        self.pool = SessionPool(tenant_configs, max_sessions=max_sessions)
+        self.queue = JobQueue(
+            workers=workers,
+            max_queue=max_queue,
+            max_inflight_per_tenant=max_inflight_per_tenant,
+            default_timeout=default_timeout,
+        )
+
+    # -- the four verbs --------------------------------------------------------
+    def submit(self, request: "JobRequest | Mapping[str, Any]") -> JobTicket:
+        """Validate and enqueue a job; returns its ticket.
+
+        Raises :class:`ProtocolError` on malformed payloads,
+        :class:`QueueFull` under backpressure and :class:`QueueClosed`
+        after :meth:`close`.
+        """
+        if not isinstance(request, JobRequest):
+            request = JobRequest.from_payload(request)
+
+        def run(request: JobRequest = request) -> RunResult:
+            session = self.pool.get(request.tenant)
+            return execute_request(session, request)
+
+        job = self.queue.submit(request.tenant, run, kind=request.kind)
+        return JobTicket(job_id=job.job_id, tenant=job.tenant, status=job.status)
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        """The ``repro/job-status-v1`` payload of a job (KeyError when unknown)."""
+        return _job_payload(self.queue.get(job_id))
+
+    def result(self, job_id: str, timeout: float | None = None) -> RunResult:
+        """Block until the job is terminal and return its :class:`RunResult`.
+
+        Raises :class:`TimeoutError` if the wait times out and
+        :class:`RuntimeError` for ``failed``/``cancelled`` jobs.
+        """
+        job = self.queue.get(job_id)
+        if not job.wait(timeout):
+            raise TimeoutError(f"job {job_id} still {job.status} after {timeout:.3f}s")
+        if job.status != DONE:
+            raise RuntimeError(f"job {job_id} {job.status}: {job.error}")
+        return job.result
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job; ``False`` when it already started or finished."""
+        return self.queue.cancel(job_id)
+
+    # -- bookkeeping -----------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Queue and pool counters (what ``GET /stats`` returns)."""
+        return {"queue": self.queue.stats(), "pool": self.pool.stats()}
+
+    def close(self) -> None:
+        """Shut the queue down and close every pooled session."""
+        self.queue.close()
+        self.pool.close()
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _job_payload(job: Job) -> dict[str, Any]:
+    """The wire form of one job's current state."""
+    payload: dict[str, Any] = {
+        "schema": JOB_STATUS_SCHEMA,
+        "job_id": job.job_id,
+        "tenant": job.tenant,
+        "kind": job.kind,
+        "status": job.status,
+        "submitted_at": job.submitted_at,
+        "started_at": job.started_at,
+        "finished_at": job.finished_at,
+        "error": job.error,
+        "result": None,
+    }
+    if job.status == DONE and isinstance(job.result, RunResult):
+        payload["result"] = job.result.payload
+    return payload
+
+
+class _ServeHandler(BaseHTTPRequestHandler):
+    """Routes the HTTP surface onto the owning :class:`Server`."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    #: Upper bound on accepted request bodies (inline relations are rows of
+    #: JSON scalars; 64 MiB is far beyond any benchmark relation).
+    max_body_bytes = 64 * 1024 * 1024
+
+    @property
+    def app(self) -> Server:
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):  # pragma: no cover - CLI only
+            super().log_message(format, *args)
+
+    def _send_json(self, code: int, payload: Mapping[str, Any], close: bool = False) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if close:
+            # Early-exit errors that leave the request body unread must drop
+            # the connection: on HTTP/1.1 keep-alive the unread bytes would
+            # otherwise be parsed as the next request line.  (The header also
+            # flips self.close_connection inside http.server.)
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, code: int, message: str, close: bool = False) -> None:
+        self._send_json(code, {"error": message}, close=close)
+
+    def _job_id(self) -> str | None:
+        parts = self.path.rstrip("/").split("/")
+        if len(parts) == 3 and parts[0] == "" and parts[1] == "jobs" and parts[2]:
+            return parts[2]
+        return None
+
+    # -- verbs ----------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path.rstrip("/") != "/jobs":
+            self._error(404, f"unknown path {self.path!r}", close=True)
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._error(400, "invalid Content-Length", close=True)
+            return
+        if length <= 0 or length > self.max_body_bytes:
+            self._error(400, f"request body must be 1..{self.max_body_bytes} bytes", close=True)
+            return
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._error(400, f"invalid JSON body: {exc}")
+            return
+        try:
+            ticket = self.app.submit(payload)
+        except (ProtocolError, ConfigError) as exc:
+            self._error(400, str(exc))
+        except QueueFull as exc:
+            self._error(429, str(exc))
+        except QueueClosed as exc:
+            self._error(503, str(exc))
+        else:
+            self._send_json(202, ticket.to_payload())
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.rstrip("/") or "/"
+        if path == "/healthz":
+            self._send_json(200, {"status": "ok"})
+            return
+        if path == "/stats":
+            self._send_json(200, self.app.stats())
+            return
+        job_id = self._job_id()
+        if job_id is None:
+            self._error(404, f"unknown path {self.path!r}")
+            return
+        try:
+            payload = self.app.status(job_id)
+        except KeyError:
+            self._error(404, f"unknown job {job_id!r}")
+        else:
+            self._send_json(200, payload)
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        job_id = self._job_id()
+        if job_id is None:
+            self._error(404, f"unknown path {self.path!r}")
+            return
+        try:
+            cancelled = self.app.cancel(job_id)
+        except KeyError:
+            self._error(404, f"unknown job {job_id!r}")
+        else:
+            self._send_json(200, {"job_id": job_id, "cancelled": cancelled})
+
+
+class HttpFrontend:
+    """A blocking stdlib HTTP endpoint over a :class:`Server`.
+
+    ``port=0`` binds an ephemeral port (see :attr:`address`).  Use
+    :meth:`serve_forever` to block (the CLI), or :meth:`start`/:meth:`stop`
+    to run on a background thread (tests, embedding).  Stopping the frontend
+    does **not** close the underlying :class:`Server`.
+    """
+
+    def __init__(
+        self,
+        app: Server,
+        host: str = "127.0.0.1",
+        port: int = 8750,
+        verbose: bool = False,
+    ) -> None:
+        self.app = app
+        self._httpd = ThreadingHTTPServer((host, port), _ServeHandler)
+        self._httpd.app = app  # type: ignore[attr-defined]
+        self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (the resolved port when 0 was requested)."""
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    def serve_forever(self) -> None:
+        """Serve until :meth:`stop` (or ``shutdown()``) is called — blocking."""
+        self._httpd.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "HttpFrontend":
+        """Serve on a daemon background thread; returns ``self``."""
+        if self._thread is not None:
+            raise RuntimeError("frontend already started")
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and release the socket (idempotent).
+
+        ``shutdown()`` blocks until ``serve_forever`` acknowledges, so it is
+        only issued when the background thread is live; a frontend whose
+        ``serve_forever`` already returned (e.g. the CLI after Ctrl-C) just
+        closes the socket.
+        """
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "HttpFrontend":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -640,6 +640,11 @@ class Session:
 
 _DEFAULT_SESSION: Session | None = None
 
+#: Guards the lazy construction of the default session: concurrent first
+#: calls from multiple threads (serving workers, test parallelism) must all
+#: receive the same instance.
+_DEFAULT_SESSION_LOCK = threading.Lock()
+
 
 def default_session() -> Session:
     """The lazy module-level session wrapping the default engine state.
@@ -647,12 +652,19 @@ def default_session() -> Session:
     This is the state every classic entry point (``TANE().discover``,
     ``InFine().run``, ``approximate_fds``) runs on when no explicit session
     is active, so its counters/caches and theirs are one and the same.
+    Thread-safe: concurrent callers observe a single shared instance (per
+    default engine state — resetting the state via ``set_backend(None)``
+    derives a fresh session on the next call).
     """
     global _DEFAULT_SESSION
     state = get_default_state()
-    if _DEFAULT_SESSION is None or _DEFAULT_SESSION._state is not state:
-        _DEFAULT_SESSION = Session._from_state(state)
-    return _DEFAULT_SESSION
+    session = _DEFAULT_SESSION
+    if session is None or session._state is not state:
+        with _DEFAULT_SESSION_LOCK:
+            session = _DEFAULT_SESSION
+            if session is None or session._state is not state:
+                session = _DEFAULT_SESSION = Session._from_state(state)
+    return session
 
 
 def discover(

@@ -43,7 +43,8 @@ def admission_relation() -> Relation:
     """The ADMISSION excerpt of Fig. 1 of the paper."""
     return Relation(
         "admission",
-        ("subject_id", "admittime", "admission_location", "insurance", "diagnosis", "h_expire_flag"),
+        ("subject_id", "admittime", "admission_location", "insurance", "diagnosis",
+         "h_expire_flag"),
         [
             (247, "03/08/56 20:35", "CLINIC REFERRAL/PREMATURE", "UNOBTAINABLE", "CHEST PAIN", 0),
             (248, "19/10/42 16:30", "EMERGENCY ROOM ADMIT", "Private", "S/P MOTOR ROLLOR", 0),
@@ -51,10 +52,12 @@ def admission_relation() -> Relation:
             (249, "03/02/55 20:16", "EMERGENCY ROOM ADMIT", "Medicare", "CHEST PAIN", 0),
             (249, "27/04/56 15:33", "PHYS REFERRAL/NORMAL DELI", "Medicare", "GI BLEEDING", 0),
             (250, "12/11/88 09:22", "EMERGENCY ROOM ADMIT", "Self Pay", "PNEUMONIA R/O TB", 1),
-            (251, "27/07/10 06:46", "EMERGENCY ROOM ADMIT", "Private", "INTRACRANIAL HEAD BLEED", 0),
+            (251, "27/07/10 06:46", "EMERGENCY ROOM ADMIT", "Private",
+             "INTRACRANIAL HEAD BLEED", 0),
             (252, "31/03/33 04:24", "EMERGENCY ROOM ADMIT", "Private", "GASTROINTESTINAL BLEED", 0),
             (252, "15/08/33 04:23", "EMERGENCY ROOM ADMIT", "Private", "GASTROINTESTINAL BLEED", 0),
-            (253, "21/01/74 20:58", "TRANSFER FROM HOSP/EXTRAM", "Medicare", "COMPLETE HEART BLOCK", 0),
+            (253, "21/01/74 20:58", "TRANSFER FROM HOSP/EXTRAM", "Medicare",
+             "COMPLETE HEART BLOCK", 0),
         ],
     )
 

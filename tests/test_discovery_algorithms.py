@@ -58,7 +58,8 @@ class TestOnPlantedFDs:
 
     def test_attribute_restriction(self, algorithm_cls, employees):
         result = algorithm_cls().discover(employees, attributes=("department", "manager"))
-        assert set(result.fds.as_set()) == {fd("department", "manager"), fd("manager", "department")}
+        assert set(result.fds.as_set()) == {
+            fd("department", "manager"), fd("manager", "department")}
 
     def test_empty_relation_yields_constant_fds(self, algorithm_cls):
         empty = Relation("e", ("a", "b"), [])

@@ -5,7 +5,7 @@ import pytest
 from repro.fd import FD, ApproximateFD, approximate_fds, g3_error, holds_approximately
 from repro.fd.approximate import upstageable_fds
 from repro.relational.algebra import equi_join
-from repro.relational.relation import NULL, Relation
+from repro.relational.relation import Relation
 
 
 @pytest.fixture()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.fd import FD, fd
+from repro.fd import fd
 from repro.infine import (
     FDType,
     ProvenanceSet,

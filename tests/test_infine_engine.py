@@ -11,7 +11,7 @@ from repro.fd import FD, fd
 from repro.infine import FDType, InFine, StraightforwardPipeline
 from repro.relational.algebra import JoinKind
 from repro.relational.predicates import eq, gt, ne
-from repro.relational.relation import NULL, Relation
+from repro.relational.relation import Relation
 from repro.relational.view import base, join, proj, sel
 
 

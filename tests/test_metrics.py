@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.fd import FD, FDSet, fd
+from repro.fd import FDSet, fd
 from repro.infine import FDType, InFine, StraightforwardPipeline
 from repro.metrics import (
     BREAKDOWN_STEPS,

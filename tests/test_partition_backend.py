@@ -19,8 +19,6 @@ from repro.relational import backend as backend_module
 from repro.relational.backend import (
     KERNEL_COUNTERS,
     MarkTableCache,
-    NumpyBackend,
-    PythonBackend,
     _resolve_backend,
     get_backend,
     numpy_available,
@@ -35,7 +33,7 @@ from repro.relational.partition import (
     validate_level,
     validate_level_errors,
 )
-from repro.relational.relation import NULL, Relation
+from repro.relational.relation import Relation
 
 requires_numpy = pytest.mark.skipif(
     not numpy_available(), reason="numpy fast path not importable"

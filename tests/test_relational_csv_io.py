@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.relational.csv_io import load_catalog, load_csv, save_catalog, save_csv, schema_from_types
+from repro.relational.csv_io import (
+    load_catalog,
+    load_csv,
+    save_catalog,
+    save_csv,
+    schema_from_types,
+)
 from repro.relational.relation import NULL, Relation
 
 

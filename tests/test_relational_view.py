@@ -6,10 +6,8 @@ from repro.relational.algebra import JoinKind
 from repro.relational.predicates import gt
 from repro.relational.relation import Relation
 from repro.relational.view import (
-    BaseRelationSpec,
     JoinSpec,
     ProjectSpec,
-    SelectSpec,
     ViewError,
     base,
     join,

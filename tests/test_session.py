@@ -409,6 +409,31 @@ class TestSessionIsolation:
             False,
         )
 
+    def test_partitions_bind_their_mark_cache_weakly(self):
+        """ROADMAP regression: a collected session's mark cache is released
+        even while partitions built under it live on."""
+        import gc
+        import weakref
+
+        from repro.relational.partition import StrippedPartition
+
+        relation = small_relation()
+        session = Session()
+        with session.activate():
+            lhs = StrippedPartition.from_column(relation, "a")
+            rhs = StrippedPartition.from_column(relation, "b")
+            product = lhs.intersect(rhs)  # populates the mark cache
+            cache_ref = weakref.ref(relation.mark_cache)
+            assert lhs._mark_cache is cache_ref()
+        del session
+        gc.collect()
+        # The partition no longer pins the dead session's cache ...
+        assert cache_ref() is None
+        assert lhs._mark_cache is None
+        # ... and still probes correctly via the fallback cache.
+        assert lhs.intersect(rhs).error == product.error
+        assert isinstance(lhs.refines(rhs), bool)
+
 
 # ---------------------------------------------------------------------------
 # Per-relation backend override heuristic (ROADMAP open item).
@@ -533,3 +558,54 @@ class TestModuleLevelShims:
 
     def test_default_session_is_stable(self):
         assert default_session() is default_session()
+
+    def test_default_session_lazy_init_is_race_free(self):
+        """Concurrent first calls must all observe one session instance."""
+        import repro.session as session_module
+
+        saved = session_module._DEFAULT_SESSION
+        session_module._DEFAULT_SESSION = None
+        try:
+            n_threads = 8
+            barrier = threading.Barrier(n_threads)
+            seen: list[Session] = []
+            lock = threading.Lock()
+
+            def race() -> None:
+                barrier.wait()
+                session = default_session()
+                with lock:
+                    seen.append(session)
+
+            threads = [threading.Thread(target=race) for _ in range(n_threads)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert len(seen) == n_threads
+            assert len({id(session) for session in seen}) == 1
+            # All racers share the default engine state (and its counters).
+            assert seen[0]._state is default_session()._state
+        finally:
+            session_module._DEFAULT_SESSION = saved
+
+    def test_default_session_usable_from_many_threads(self):
+        """The classic shims work concurrently on the shared default state."""
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(4)
+
+        def work() -> None:
+            try:
+                barrier.wait()
+                for _ in range(3):
+                    result = repro.discover(small_relation())
+                    assert result.kind == "discover"
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
