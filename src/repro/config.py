@@ -219,6 +219,98 @@ class EngineConfig:
 
 
 # ---------------------------------------------------------------------------
+# Serving-executor configuration (the serving layer's worker model).
+# ---------------------------------------------------------------------------
+
+#: Environment variable selecting the serving executor (``thread``/``process``).
+ENV_SERVE_EXECUTOR = "REPRO_SERVE_EXECUTOR"
+
+#: Environment variable overriding the serving worker count.
+ENV_SERVE_WORKERS = "REPRO_SERVE_WORKERS"
+
+#: Environment variable toggling eager worker-process warmup (``1``/``0``).
+ENV_SERVE_WARMUP = "REPRO_SERVE_WARMUP"
+
+#: Environment variable selecting the ``multiprocessing`` start method of the
+#: process executor (``spawn``/``fork``/``forkserver``).
+ENV_SERVE_START_METHOD = "REPRO_SERVE_START_METHOD"
+
+#: Default serving worker count (threads or worker processes).
+DEFAULT_SERVE_WORKERS = 4
+
+_EXECUTOR_CHOICES = ("thread", "process")
+
+_START_METHOD_CHOICES = ("spawn", "fork", "forkserver")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Immutable executor configuration of the serving layer.
+
+    Parameters
+    ----------
+    executor:
+        ``thread`` (in-process worker threads sharing one session pool — the
+        GIL bounds CPU-bound throughput) or ``process`` (one worker process
+        per worker, each with its own session pool — CPU-bound jobs scale
+        with cores).  Served artefacts are byte-identical either way.
+    workers:
+        Worker count of the job queue (threads, and under ``process`` also
+        the paired worker processes).
+    warmup:
+        Under ``process``, start and ping every worker process at server
+        boot (paying interpreter/import cost once, upfront) instead of
+        lazily on each slot's first job.
+    start_method:
+        ``multiprocessing`` start method of the process executor.  ``spawn``
+        is the safe default (fresh interpreter per worker); ``fork`` starts
+        faster but inherits parent threads' lock state.
+    """
+
+    executor: str = "thread"
+    workers: int = DEFAULT_SERVE_WORKERS
+    warmup: bool = True
+    start_method: str = "spawn"
+
+    def __post_init__(self) -> None:
+        if self.executor not in _EXECUTOR_CHOICES:
+            raise ConfigError(
+                f"unknown serving executor {self.executor!r}: "
+                f"expected one of {_EXECUTOR_CHOICES}"
+            )
+        if self.workers < 1:
+            raise ConfigError(f"workers must be at least 1, got {self.workers}")
+        if self.start_method not in _START_METHOD_CHOICES:
+            raise ConfigError(
+                f"unknown start method {self.start_method!r}: "
+                f"expected one of {_START_METHOD_CHOICES}"
+            )
+
+    @classmethod
+    def from_env(cls, env: Mapping[str, str] | None = None) -> "ServeConfig":
+        """Parse the environment-variable defaults into a serving configuration.
+
+        Unset variables fall back to the built-in defaults (thread executor,
+        4 workers, warmup on, ``spawn``); malformed choices raise
+        :class:`ConfigError` rather than silently degrading.
+        """
+        if env is None:
+            env = os.environ
+        executor = (env.get(ENV_SERVE_EXECUTOR) or "thread").strip().lower() or "thread"
+        start_method = (env.get(ENV_SERVE_START_METHOD) or "spawn").strip().lower() or "spawn"
+        return cls(
+            executor=executor,
+            workers=_env_int(env, ENV_SERVE_WORKERS, DEFAULT_SERVE_WORKERS, minimum=1),
+            warmup=_env_bool(env, ENV_SERVE_WARMUP, True),
+            start_method=start_method,
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        """The configuration as a JSON-native dictionary."""
+        return dataclasses.asdict(self)
+
+
+# ---------------------------------------------------------------------------
 # Per-tenant configuration (the serving layer's tenant model).
 # ---------------------------------------------------------------------------
 

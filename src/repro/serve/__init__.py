@@ -18,15 +18,31 @@ engine behind a concurrent front door:
   :class:`~repro.serve.protocol.JobRequest` in,
   :class:`~repro.serve.protocol.JobTicket` out, results as the existing
   :class:`~repro.session.RunResult` payloads (already canonical JSON).
-* :class:`~repro.serve.server.Server` — the programmatic API tying pool and
-  queue together — and :class:`~repro.serve.server.HttpFrontend`, a blocking
-  stdlib ``http.server`` endpoint (``POST /jobs``, ``GET /jobs/<id>``,
+* :mod:`~repro.serve.executor` — pluggable job execution behind the queue:
+  :class:`~repro.serve.executor.ThreadExecutor` (in-process, the default)
+  and :class:`~repro.serve.executor.ProcessExecutor` (a ``multiprocessing``
+  worker pool — one worker process per worker, each with its own lazily
+  built :class:`SessionPool`; CPU-bound jobs scale with cores and served
+  artefacts stay byte-identical across executors).
+* :class:`~repro.serve.server.Server` — the programmatic API tying pool,
+  queue and executor together — and
+  :class:`~repro.serve.server.HttpFrontend`, a blocking stdlib
+  ``http.server`` endpoint (``POST /jobs``, ``GET /jobs/<id>``,
   ``DELETE /jobs/<id>``, ``GET /healthz``, ``GET /stats``).
 
 ``python -m repro serve`` starts the HTTP endpoint from the command line
 (see :mod:`repro.serve.cli`).
 """
 
+from .executor import (
+    EXECUTOR_KINDS,
+    ProcessExecutor,
+    RemoteJobError,
+    ThreadExecutor,
+    WorkerCrashed,
+    WorkerExecutor,
+    make_executor,
+)
 from .jobs import (
     CANCELLED,
     DONE,
@@ -48,6 +64,7 @@ from .protocol import (
     JobRequest,
     JobTicket,
     ProtocolError,
+    execute_payload,
     execute_request,
     relation_from_payload,
     relation_to_payload,
@@ -57,6 +74,7 @@ from .server import HttpFrontend, Server
 __all__ = [
     "CANCELLED",
     "DONE",
+    "EXECUTOR_KINDS",
     "FAILED",
     "JOB_REQUEST_SCHEMA",
     "JOB_STATES",
@@ -70,12 +88,19 @@ __all__ = [
     "JobQueue",
     "JobRequest",
     "JobTicket",
+    "ProcessExecutor",
     "ProtocolError",
     "QueueClosed",
     "QueueFull",
+    "RemoteJobError",
     "Server",
     "SessionPool",
+    "ThreadExecutor",
+    "WorkerCrashed",
+    "WorkerExecutor",
+    "execute_payload",
     "execute_request",
-    "relation_from_payload",
+    "make_executor",
     "relation_to_payload",
+    "relation_from_payload",
 ]

@@ -6,6 +6,11 @@ Serve on the default port with four workers::
 
     python -m repro serve
 
+Serve CPU-bound traffic on a process worker pool (one worker process per
+worker, scaling with cores; artefacts stay byte-identical)::
+
+    python -m repro serve --executor process --workers 8
+
 Size the worker pool and the backpressure bound, and give tenants their own
 engine configurations::
 
@@ -29,12 +34,18 @@ from __future__ import annotations
 import argparse
 from typing import Sequence
 
-from ..config import ConfigError, load_tenant_configs
+from ..config import ConfigError, ServeConfig, load_tenant_configs
 from .server import HttpFrontend, Server
 
 
 def build_serve_parser() -> argparse.ArgumentParser:
-    """The argument parser of the ``serve`` subcommand."""
+    """The argument parser of the ``serve`` subcommand.
+
+    Executor-related defaults come from :meth:`ServeConfig.from_env`
+    (``REPRO_SERVE_EXECUTOR``/``REPRO_SERVE_WORKERS``/``REPRO_SERVE_WARMUP``/
+    ``REPRO_SERVE_START_METHOD``); explicit flags always win.
+    """
+    defaults = ServeConfig.from_env()
     parser = argparse.ArgumentParser(
         prog="repro-infine serve",
         description="Serve FD discovery/validation/profiling jobs over HTTP "
@@ -45,7 +56,33 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=8750, help="bind port (0 picks an ephemeral port)"
     )
     parser.add_argument(
-        "--workers", type=int, default=4, help="job-queue worker threads (default: 4)"
+        "--workers",
+        type=int,
+        default=defaults.workers,
+        help=f"job-queue workers (default: {defaults.workers})",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default=defaults.executor,
+        help="where jobs run: 'thread' = in-process worker threads "
+        "(GIL-bound), 'process' = one worker process per worker "
+        "(CPU-bound jobs scale with cores; artefacts are byte-identical "
+        f"either way) (default: {defaults.executor})",
+    )
+    parser.add_argument(
+        "--warmup",
+        action=argparse.BooleanOptionalAction,
+        default=defaults.warmup,
+        help="start and ping every worker process at boot instead of "
+        "lazily on first use (process executor only)",
+    )
+    parser.add_argument(
+        "--start-method",
+        choices=("spawn", "fork", "forkserver"),
+        default=defaults.start_method,
+        help="multiprocessing start method of the process executor "
+        f"(default: {defaults.start_method})",
     )
     parser.add_argument(
         "--max-queue",
@@ -101,10 +138,16 @@ def main_serve(argv: Sequence[str] | None = None) -> int:
         max_inflight_per_tenant=args.max_inflight_per_tenant,
         default_timeout=args.timeout,
         max_sessions=args.max_sessions,
+        executor=args.executor,
+        warmup=args.warmup,
+        start_method=args.start_method,
     )
     frontend = HttpFrontend(server, host=args.host, port=args.port, verbose=args.verbose)
     host, port = frontend.address
-    banner = f"serving on http://{host}:{port} (workers={args.workers}, max-queue={args.max_queue})"
+    banner = (
+        f"serving on http://{host}:{port} (executor={args.executor}, "
+        f"workers={args.workers}, max-queue={args.max_queue})"
+    )
     print(banner, flush=True)
     try:
         frontend.serve_forever()

@@ -1,0 +1,415 @@
+"""Pluggable job execution: the worker side of the serving layer.
+
+:class:`~repro.serve.jobs.JobQueue` owns the *queueing* semantics —
+backpressure, per-tenant fairness, cancel/timeout of waiting jobs, drain on
+shutdown — but delegates the actual *execution* of a claimed job to a
+:class:`WorkerExecutor`.  Two executors ship:
+
+* :class:`ThreadExecutor` (default) — runs the job's callable on the queue's
+  worker thread, in-process.  This is the original behaviour: cheap, shares
+  the server's :class:`~repro.serve.pool.SessionPool`, but CPU-bound jobs
+  serialise on the GIL.
+* :class:`ProcessExecutor` — pairs every queue worker thread with a
+  dedicated ``multiprocessing`` worker process.  Each worker process owns
+  its own lazily built :class:`~repro.serve.pool.SessionPool` (sessions are
+  share-nothing by design), receives jobs as the existing
+  ``repro/job-request-v1`` JSON payloads and replies with the canonical
+  ``repro/run-result-v1`` JSON — the exact bytes a bare session would have
+  produced, so served artefacts are byte-identical across executors (pinned
+  by tests).  CPU-bound jobs run truly in parallel, one core per worker.
+
+Crash recovery: a worker process that dies mid-job (OOM-kill, segfault,
+``SIGKILL``) fails *that job only* — the queue thread observes the broken
+pipe, marks the job ``failed`` with a diagnostic naming the dead pid and
+exit code, and the executor spawns a fresh worker process for the next job.
+
+The wire across the pipe is deliberately thin: ``("job", payload_dict)`` in,
+``("result", json_text)`` out (``("error", message)`` for job-level
+failures).  Plain zero-argument picklables are also accepted
+(``("call", fn)``), which keeps :class:`ProcessExecutor` drivable by the
+queue's generic tests without going through the session machinery.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import threading
+import time
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing.connection import Connection
+
+#: Executor kinds selectable by name (CLI ``--executor``, ``ServeConfig``).
+EXECUTOR_KINDS = ("thread", "process")
+
+
+class WorkerCrashed(RuntimeError):
+    """A worker process died while running a job (the job is failed)."""
+
+
+class RemoteJobError(RuntimeError):
+    """A job raised inside a worker process.
+
+    The message is the child-side ``"ExcType: message"`` rendering, so the
+    queue records exactly the error string the thread executor would have —
+    failure diagnostics are executor-independent.
+    """
+
+
+class WorkerExecutor:
+    """Interface between the job queue's worker threads and job execution.
+
+    ``execute(slot, task)`` is called by queue worker thread ``slot`` (one
+    slot per thread, so per-slot state needs no locking against other
+    ``execute`` calls).  ``remote`` tells the :class:`~repro.serve.server.Server`
+    what task to enqueue: inline executors receive a prepared zero-argument
+    callable closing over the server's session pool; remote executors
+    receive the job's ``repro/job-request-v1`` payload instead.
+    """
+
+    #: Executor kind name (reported in queue/server stats).
+    name = "abstract"
+
+    #: Whether jobs must be handed over as JSON payloads (``True``) or as
+    #: in-process callables (``False``).
+    remote = False
+
+    def start(self, workers: int) -> None:
+        """Allocate ``workers`` execution slots (called once by the queue)."""
+        raise NotImplementedError
+
+    def execute(self, slot: int, task: Any) -> Any:
+        """Run ``task`` on slot ``slot`` and return its result (may raise)."""
+        raise NotImplementedError
+
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Release execution resources; idempotent."""
+        raise NotImplementedError
+
+    def stats(self) -> dict[str, Any]:
+        """Executor kind plus whatever bookkeeping the executor keeps."""
+        return {"executor": self.name}
+
+
+class ThreadExecutor(WorkerExecutor):
+    """The in-process executor: jobs are callables run on the queue thread.
+
+    This is exactly the pre-executor behaviour of the serving layer — the
+    job's closure runs under the GIL against the server's shared
+    :class:`~repro.serve.pool.SessionPool`.
+    """
+
+    name = "thread"
+    remote = False
+
+    def start(self, workers: int) -> None:
+        self._workers = workers
+
+    def execute(self, slot: int, task: Any) -> Any:
+        if not callable(task):
+            raise TypeError(f"the thread executor runs callables, got {type(task).__name__}")
+        return task()
+
+    def close(self, timeout: float | None = 10.0) -> None:
+        pass
+
+    def stats(self) -> dict[str, Any]:
+        return {"executor": self.name, "workers": getattr(self, "_workers", 0)}
+
+
+# ---------------------------------------------------------------------------
+# The process executor and its worker-process main loop.
+# ---------------------------------------------------------------------------
+
+
+def _process_worker_main(conn: "Connection", tenant_configs_payload: dict | None) -> None:
+    """Main loop of one worker process.
+
+    Owns a lazily built :class:`SessionPool` configured exactly like the
+    parent's (the per-tenant ``EngineConfig`` mapping travels as its JSON
+    form), executes ``("job", payload)`` messages through the same
+    :func:`~repro.serve.protocol.execute_payload` path a bare session uses,
+    and replies with the canonical ``repro/run-result-v1`` JSON text.
+    Job-level exceptions become ``("error", "ExcType: message")`` replies;
+    only a dead pipe (parent gone) or ``("exit",)`` ends the loop.
+    """
+    # Imports happen here (not at module import) so the parent can ship this
+    # function to a spawn-context child before the repro package is touched.
+    from ..config import EngineConfig
+    from .pool import SessionPool
+    from .protocol import execute_payload
+
+    pool: SessionPool | None = None
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        op = message[0]
+        if op == "exit":
+            break
+        try:
+            if op == "ping":
+                conn.send(("value", "pong"))
+                continue
+            if op == "job":
+                if pool is None:
+                    configs = None
+                    if tenant_configs_payload is not None:
+                        configs = {
+                            tenant: EngineConfig.from_dict(fields)
+                            for tenant, fields in tenant_configs_payload.items()
+                        }
+                    pool = SessionPool(configs)
+                result = execute_payload(pool, message[1])
+                conn.send(("result", json.dumps(result.payload, sort_keys=True)))
+            elif op == "call":
+                conn.send(("value", message[1]()))
+            else:
+                conn.send(("error", f"ProtocolError: unknown worker op {op!r}"))
+        except Exception as exc:  # noqa: BLE001 - job errors become replies
+            try:
+                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            except (OSError, ValueError):  # parent gone / unpicklable detail
+                break
+
+
+class _ProcessSlot:
+    """One worker process, its pipe, and the lock serialising access to it.
+
+    Each slot is normally driven by exactly one queue worker thread; the
+    lock exists so :meth:`ProcessExecutor.close` can safely interleave with
+    a thread that is still mid-``execute`` past the drain deadline.
+    """
+
+    __slots__ = ("process", "conn", "lock", "busy")
+
+    def __init__(self) -> None:
+        self.process = None
+        self.conn = None
+        self.lock = threading.Lock()
+        self.busy = False
+
+
+class ProcessExecutor(WorkerExecutor):
+    """A ``multiprocessing`` worker pool: one process per queue worker.
+
+    Parameters
+    ----------
+    tenant_configs_payload:
+        Per-tenant engine configuration in its JSON form
+        (:meth:`repro.serve.pool.SessionPool.configs_payload`); each worker
+        process rebuilds its own :class:`SessionPool` from it.
+    start_method:
+        ``multiprocessing`` start method (``spawn``/``fork``/``forkserver``).
+        ``spawn`` is the safe default — worker processes are started from a
+        fresh interpreter, never from a parent mid-flight with running
+        threads; ``fork`` starts faster but inherits the parent's threads'
+        lock state.
+    warmup:
+        Start (and ping) every worker process eagerly in :meth:`start`, so
+        the interpreter/import cost is paid at server boot instead of on the
+        first job of each slot.  ``False`` spawns each worker lazily.
+    """
+
+    name = "process"
+    remote = True
+
+    def __init__(
+        self,
+        tenant_configs_payload: Mapping[str, Mapping[str, Any]] | None = None,
+        start_method: str = "spawn",
+        warmup: bool = True,
+    ) -> None:
+        self._tenant_configs_payload = (
+            None
+            if tenant_configs_payload is None
+            else {tenant: dict(fields) for tenant, fields in tenant_configs_payload.items()}
+        )
+        self._ctx = multiprocessing.get_context(start_method)
+        self.start_method = start_method
+        self.warmup = warmup
+        self._slots: list[_ProcessSlot] = []
+        self._lifecycle = threading.Lock()
+        self._closed = False
+        self._spawned = 0
+        self._respawns = 0
+
+    # -- lifecycle -------------------------------------------------------------
+    def start(self, workers: int) -> None:
+        self._slots = [_ProcessSlot() for _ in range(workers)]
+        if self.warmup:
+            for slot in self._slots:
+                self._spawn(slot)
+            for slot in self._slots:
+                slot.conn.send(("ping",))
+                slot.conn.recv()
+
+    def _spawn(self, slot: _ProcessSlot) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_process_worker_main,
+            args=(child_conn, self._tenant_configs_payload),
+            name="repro-serve-process-worker",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        slot.process, slot.conn = process, parent_conn
+        with self._lifecycle:
+            self._spawned += 1
+
+    def _reap_and_respawn(self, slot: _ProcessSlot) -> tuple[int | None, int | None, bool]:
+        """Join a dead worker, record its identity, start a replacement.
+
+        No replacement is started once the executor is closing (the death
+        was most likely the shutdown ``terminate`` itself)."""
+        process = slot.process
+        pid = exitcode = None
+        if process is not None:
+            process.join(timeout=5.0)
+            pid, exitcode = process.pid, process.exitcode
+        if slot.conn is not None:
+            slot.conn.close()
+        slot.process = slot.conn = None
+        with self._lifecycle:
+            closed = self._closed
+            if not closed:
+                self._respawns += 1
+        if not closed:
+            self._spawn(slot)
+        return pid, exitcode, not closed
+
+    # -- execution -------------------------------------------------------------
+    def execute(self, slot_index: int, task: Any) -> Any:
+        slot = self._slots[slot_index]
+        if isinstance(task, Mapping):
+            message = ("job", dict(task))
+        elif callable(task):
+            message = ("call", task)
+        else:
+            raise TypeError(
+                "the process executor runs job payloads or picklable "
+                f"callables, got {type(task).__name__}"
+            )
+        with slot.lock:
+            slot.busy = True
+            try:
+                if slot.process is None or not slot.process.is_alive():
+                    self._spawn(slot)
+                try:
+                    slot.conn.send(message)
+                    kind, value = slot.conn.recv()
+                except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as exc:
+                    pid, exitcode, respawned = self._reap_and_respawn(slot)
+                    detail = (
+                        "a fresh worker was started"
+                        if respawned
+                        else "the executor is shutting down"
+                    )
+                    raise WorkerCrashed(
+                        f"worker process (pid {pid}) died while running the job "
+                        f"(exit code {exitcode}); {detail}"
+                    ) from exc
+            finally:
+                slot.busy = False
+        if kind == "result":
+            from ..session import RunResult
+
+            return RunResult(json.loads(value))
+        if kind == "value":
+            return value
+        raise RemoteJobError(value)
+
+    # -- shutdown --------------------------------------------------------------
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Stop every worker process, waiting up to ``timeout`` in total.
+
+        Idle workers exit on request; a worker still busy past the deadline
+        is terminated (and, failing that, killed) — unlike threads, worker
+        processes *can* be reclaimed, so shutdown never leaks them.
+        """
+        with self._lifecycle:
+            self._closed = True
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for slot in self._slots:
+            process = slot.process
+            if process is None:
+                continue
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            # Only ask an idle worker to exit: a busy slot's pipe belongs to
+            # the queue thread mid-execute, so interleaving a message would
+            # corrupt the stream — busy workers get joined, then terminated.
+            if slot.lock.acquire(timeout=-1 if remaining is None else remaining):
+                try:
+                    if slot.process is not None and slot.process.is_alive():
+                        try:
+                            slot.conn.send(("exit",))
+                        except (BrokenPipeError, OSError):
+                            pass
+                finally:
+                    slot.lock.release()
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            process.join(remaining)
+            if process.is_alive():
+                process.terminate()
+                process.join(1.0)
+            if process.is_alive():  # pragma: no cover - kill-resistant child
+                process.kill()
+                process.join(1.0)
+            # Field cleanup only under the slot lock: a busy queue thread's
+            # _reap_and_respawn races us on slot.conn/slot.process (its recv
+            # fails once the worker is terminated).  If the thread is still
+            # wedged past the bound, it performs the cleanup itself.
+            if slot.lock.acquire(timeout=1.0):
+                try:
+                    if slot.conn is not None:
+                        slot.conn.close()
+                    slot.process = slot.conn = None
+                finally:
+                    slot.lock.release()
+
+    # -- diagnostics -----------------------------------------------------------
+    def worker_pids(self) -> list[int | None]:
+        """Current pid of each slot's worker process (``None`` = not spawned)."""
+        # Snapshot each slot.process once: crash recovery and close() null
+        # the attribute concurrently with readers.
+        processes = [slot.process for slot in self._slots]
+        return [process.pid if process is not None else None for process in processes]
+
+    def stats(self) -> dict[str, Any]:
+        processes = [slot.process for slot in self._slots]
+        alive = sum(1 for process in processes if process is not None and process.is_alive())
+        with self._lifecycle:
+            spawned, respawns = self._spawned, self._respawns
+        return {
+            "executor": self.name,
+            "workers": len(self._slots),
+            "alive": alive,
+            "spawned": spawned,
+            "respawns": respawns,
+            "start_method": self.start_method,
+            "host_cpu_count": os.cpu_count(),
+        }
+
+
+def make_executor(
+    kind: str,
+    tenant_configs_payload: Mapping[str, Mapping[str, Any]] | None = None,
+    start_method: str = "spawn",
+    warmup: bool = True,
+) -> WorkerExecutor:
+    """Build a :class:`WorkerExecutor` from its CLI/config name."""
+    if kind == "thread":
+        return ThreadExecutor()
+    if kind == "process":
+        return ProcessExecutor(
+            tenant_configs_payload=tenant_configs_payload,
+            start_method=start_method,
+            warmup=warmup,
+        )
+    raise ValueError(f"unknown executor kind {kind!r}: expected one of {EXECUTOR_KINDS}")

@@ -1,4 +1,4 @@
-"""The thread-pool job queue of the serving layer.
+"""The job queue of the serving layer.
 
 A bounded FIFO with explicit job states, backpressure and per-tenant
 fairness:
@@ -16,6 +16,16 @@ fairness:
   others.  The default of ``1`` also serialises each tenant's work on its
   pooled session, which keeps per-session caches free of data races.
 
+The queue owns scheduling only; *execution* of a claimed job is delegated
+to a pluggable :class:`~repro.serve.executor.WorkerExecutor`.  With the
+default :class:`~repro.serve.executor.ThreadExecutor` a job's task is a
+zero-argument callable run directly on the queue's worker thread (the
+original behaviour); with a :class:`~repro.serve.executor.ProcessExecutor`
+each worker thread hands its task to a dedicated worker process and blocks
+for the reply, so every queue semantic above — backpressure, fairness,
+cancel/timeout of waiting jobs, drain on close — applies identically to
+both executors.
+
 All state transitions happen under one lock; completion is signalled through
 a per-job :class:`threading.Event`, so waiters never poll.
 """
@@ -26,6 +36,8 @@ import itertools
 import threading
 import time
 from typing import Any, Callable
+
+from .executor import RemoteJobError, ThreadExecutor, WorkerExecutor
 
 #: Job lifecycle states.
 QUEUED = "queued"
@@ -52,8 +64,11 @@ class QueueClosed(RuntimeError):
 class Job:
     """One queued unit of work and its lifecycle record.
 
-    All mutation happens inside the owning :class:`JobQueue` (under its
-    lock); user code reads the attributes and :meth:`wait`\\ s on completion.
+    ``task`` is whatever the queue's executor understands: a zero-argument
+    callable for the thread executor, a ``repro/job-request-v1`` payload (or
+    a picklable callable) for the process executor.  All mutation happens
+    inside the owning :class:`JobQueue` (under its lock); user code reads
+    the attributes and :meth:`wait`\\ s on completion.
     """
 
     __slots__ = (
@@ -66,7 +81,7 @@ class Job:
         "submitted_at",
         "started_at",
         "finished_at",
-        "_fn",
+        "_task",
         "_deadline",
         "_done_event",
     )
@@ -75,7 +90,7 @@ class Job:
         self,
         job_id: str,
         tenant: str,
-        fn: Callable[[], Any],
+        task: Any,
         kind: str = "",
         timeout: float | None = None,
     ) -> None:
@@ -88,7 +103,7 @@ class Job:
         self.submitted_at = time.time()
         self.started_at: float | None = None
         self.finished_at: float | None = None
-        self._fn: "Callable[[], Any] | None" = fn
+        self._task: Any = task
         self._deadline = None if timeout is None else time.monotonic() + timeout
         self._done_event = threading.Event()
 
@@ -125,6 +140,11 @@ class JobQueue:
     max_finished_retained:
         How many terminal jobs stay pollable; older ones are forgotten
         (their :meth:`get` then raises :class:`KeyError`, HTTP 404).
+    executor:
+        The :class:`~repro.serve.executor.WorkerExecutor` running claimed
+        jobs (default: a fresh :class:`ThreadExecutor` — the in-process
+        behaviour).  The queue owns its executor's lifecycle: ``start`` is
+        called here, ``close`` inside :meth:`close`.
     """
 
     def __init__(
@@ -134,6 +154,7 @@ class JobQueue:
         max_inflight_per_tenant: int = 1,
         default_timeout: float | None = None,
         max_finished_retained: int = 1024,
+        executor: WorkerExecutor | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be at least 1, got {workers}")
@@ -164,9 +185,16 @@ class JobQueue:
             "cancelled": 0,
             "expired": 0,
         }
+        self.executor = executor if executor is not None else ThreadExecutor()
+        # Execution slots are allocated before any worker thread exists, so
+        # a process executor never forks/spawns from a mid-flight parent.
+        self.executor.start(workers)
         self._threads = [
             threading.Thread(
-                target=self._worker_loop, name=f"repro-serve-worker-{i}", daemon=True
+                target=self._worker_loop,
+                args=(i,),
+                name=f"repro-serve-worker-{i}",
+                daemon=True,
             )
             for i in range(workers)
         ]
@@ -177,11 +205,16 @@ class JobQueue:
     def submit(
         self,
         tenant: str,
-        fn: Callable[[], Any],
+        task: "Callable[[], Any] | Any",
         kind: str = "",
         timeout: float | None = None,
     ) -> Job:
-        """Enqueue ``fn`` for ``tenant``; raises :class:`QueueFull`/:class:`QueueClosed`."""
+        """Enqueue ``task`` for ``tenant``; raises :class:`QueueFull`/:class:`QueueClosed`.
+
+        What a valid ``task`` is depends on the queue's executor: callables
+        for the thread executor, job payloads or picklable callables for the
+        process executor.
+        """
         if timeout is None:
             timeout = self.default_timeout
         with self._lock:
@@ -190,7 +223,7 @@ class JobQueue:
             if len(self._pending) >= self.max_queue:
                 self._counters["rejected"] += 1
                 raise QueueFull(f"job queue is full ({self.max_queue} jobs waiting); retry later")
-            job = Job(f"job-{next(self._ids):08d}", tenant, fn, kind=kind, timeout=timeout)
+            job = Job(f"job-{next(self._ids):08d}", tenant, task, kind=kind, timeout=timeout)
             self._jobs[job.job_id] = job
             self._pending.append(job)
             self._counters["submitted"] += 1
@@ -217,13 +250,15 @@ class JobQueue:
     def close(self, timeout: float | None = 10.0) -> None:
         """Stop accepting work, cancel queued jobs, wait for running ones.
 
-        Running jobs finish normally (threads cannot be preempted); queued
-        jobs are cancelled.  Idempotent.
+        Running jobs drain normally within the deadline; queued jobs are
+        cancelled.  The executor is closed after the drain — under the
+        process executor a job still running past the deadline is forcibly
+        reclaimed (its worker process is terminated), which threads cannot
+        do.  Idempotent.
         """
         with self._lock:
-            if self._closed:
-                pending = []
-            else:
+            already_closed = self._closed
+            if not already_closed:
                 self._closed = True
                 pending, self._pending = self._pending, []
                 for job in pending:
@@ -232,6 +267,8 @@ class JobQueue:
             self._work_ready.notify_all()
         for thread in self._threads:
             thread.join(timeout)
+        if not already_closed:
+            self.executor.close(timeout)
 
     def __enter__(self) -> "JobQueue":
         return self
@@ -239,7 +276,7 @@ class JobQueue:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def stats(self) -> dict[str, int]:
+    def stats(self) -> dict[str, Any]:
         """Submission/outcome counters plus current queue depth and running count."""
         with self._lock:
             return {
@@ -248,6 +285,7 @@ class JobQueue:
                 "running": sum(self._inflight.values()),
                 "workers": self.workers,
                 "max_queue": self.max_queue,
+                "executor": self.executor.name,
             }
 
     # -- worker internals ----------------------------------------------------
@@ -255,7 +293,7 @@ class JobQueue:
         job.status = status
         job.error = error
         job.finished_at = time.time()
-        job._fn = None
+        job._task = None
         self._finished_order.append(job.job_id)
         while len(self._finished_order) > self.max_finished_retained:
             self._jobs.pop(self._finished_order.pop(0), None)
@@ -284,7 +322,7 @@ class JobQueue:
         self._pending = kept
         return chosen
 
-    def _worker_loop(self) -> None:
+    def _worker_loop(self, slot: int) -> None:
         while True:
             with self._work_ready:
                 job = self._pop_eligible_locked()
@@ -296,9 +334,13 @@ class JobQueue:
                 job.status = RUNNING
                 job.started_at = time.time()
                 self._inflight[job.tenant] = self._inflight.get(job.tenant, 0) + 1
-                fn = job._fn
+                task = job._task
             try:
-                result = fn()
+                result = self.executor.execute(slot, task)
+            except RemoteJobError as exc:
+                # The child already rendered "ExcType: message" — reuse it so
+                # failure diagnostics are identical across executors.
+                outcome, result, error = FAILED, None, str(exc)
             except Exception as exc:  # noqa: BLE001 - job errors become payloads
                 outcome, result, error = FAILED, None, f"{type(exc).__name__}: {exc}"
             else:

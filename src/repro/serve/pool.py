@@ -107,6 +107,22 @@ class SessionPool:
         for session in sessions:
             session.close()
 
+    def configs_payload(self) -> dict[str, dict[str, object]] | None:
+        """The pool's per-tenant configuration in JSON form (``None`` = env).
+
+        The inverse of the constructor's ``tenant_configs`` argument, with
+        every :class:`EngineConfig` flattened through
+        :meth:`EngineConfig.as_dict` — what the process executor ships to
+        its worker processes so each can rebuild an identically configured
+        pool of its own (via :meth:`EngineConfig.from_dict`).
+        """
+        if not self._configs and self._default_config is None:
+            return None
+        payload = {tenant: config.as_dict() for tenant, config in self._configs.items()}
+        if self._default_config is not None:
+            payload[TENANT_DEFAULT_KEY] = self._default_config.as_dict()
+        return payload
+
     def tenants(self) -> Iterable[str]:
         """The currently pooled tenant keys, least recently used first."""
         with self._lock:

@@ -34,6 +34,7 @@ from ..relational.relation import Relation, RelationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..session import RunResult, Session
+    from .pool import SessionPool
 
 #: Schema tag of a job submission.
 JOB_REQUEST_SCHEMA = "repro/job-request-v1"
@@ -284,3 +285,16 @@ def execute_request(session: "Session", request: JobRequest) -> "RunResult":
             **overrides,
         )
     raise ProtocolError(f"unknown request kind {request.kind!r}")  # pragma: no cover
+
+
+def execute_payload(pool: "SessionPool", payload: Mapping[str, Any]) -> "RunResult":
+    """Parse a ``repro/job-request-v1`` payload and run it on the tenant's session.
+
+    The single worker-side entry point shared by every executor that
+    receives jobs in wire form (the process executor's worker processes):
+    parse → pooled session → :func:`execute_request`.  Going through the
+    identical dispatch as the in-process path is what keeps served
+    artefacts byte-identical no matter where the job ran.
+    """
+    request = JobRequest.from_payload(payload)
+    return execute_request(pool.get(request.tenant), request)

@@ -26,8 +26,9 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping
 
-from ..config import ConfigError, EngineConfig
+from ..config import ConfigError, EngineConfig, ServeConfig
 from ..session import RunResult
+from .executor import WorkerExecutor, make_executor
 from .jobs import DONE, Job, JobQueue, QueueClosed, QueueFull
 from .pool import SessionPool
 from .protocol import (
@@ -48,25 +49,60 @@ class Server:
     the :class:`SessionPool`, ``max_inflight_per_tenant`` caps per-tenant
     concurrency and ``default_timeout`` bounds queue waits.
 
+    ``executor`` selects where jobs run: ``"thread"`` (in-process worker
+    threads on the shared pool), ``"process"`` (one worker process per
+    worker, each with its own pool — CPU-bound jobs scale with cores), a
+    ready-made :class:`~repro.serve.executor.WorkerExecutor`, or ``None``
+    to resolve the :class:`~repro.config.ServeConfig` environment defaults
+    (``REPRO_SERVE_EXECUTOR`` etc.).  Served artefacts are byte-identical
+    across executors (pinned by tests).  ``workers``/``warmup``/
+    ``start_method`` left as ``None`` resolve from the environment likewise.
+
     Usable as a context manager; :meth:`close` cancels queued jobs, waits
-    for running ones and closes every pooled session.
+    for running ones (terminating process workers that overrun the drain
+    deadline) and closes every pooled session.
     """
 
     def __init__(
         self,
         tenant_configs: Mapping[str, EngineConfig] | None = None,
-        workers: int = 4,
+        workers: int | None = None,
         max_queue: int = 64,
         max_inflight_per_tenant: int = 1,
         default_timeout: float | None = None,
         max_sessions: int = 64,
+        executor: "str | WorkerExecutor | None" = None,
+        warmup: bool | None = None,
+        start_method: str | None = None,
     ) -> None:
+        if workers is None or executor is None or warmup is None or start_method is None:
+            # Only consult the environment for parameters actually left to
+            # default: a fully explicit Server must not fail on (or vary
+            # with) unrelated REPRO_SERVE_* values.
+            serve_config = ServeConfig.from_env()
+            if workers is None:
+                workers = serve_config.workers
+            if executor is None:
+                executor = serve_config.executor
+            if warmup is None:
+                warmup = serve_config.warmup
+            if start_method is None:
+                start_method = serve_config.start_method
         self.pool = SessionPool(tenant_configs, max_sessions=max_sessions)
+        if isinstance(executor, str):
+            executor = make_executor(
+                executor,
+                tenant_configs_payload=self.pool.configs_payload(),
+                start_method=start_method,
+                warmup=warmup,
+            )
+        self.executor = executor
         self.queue = JobQueue(
             workers=workers,
             max_queue=max_queue,
             max_inflight_per_tenant=max_inflight_per_tenant,
             default_timeout=default_timeout,
+            executor=executor,
         )
 
     # -- the four verbs --------------------------------------------------------
@@ -75,16 +111,26 @@ class Server:
 
         Raises :class:`ProtocolError` on malformed payloads,
         :class:`QueueFull` under backpressure and :class:`QueueClosed`
-        after :meth:`close`.
+        after :meth:`close`.  The task handed to the queue depends on the
+        executor: remote executors receive the canonical
+        ``repro/job-request-v1`` payload (what their worker processes
+        parse), inline executors a closure over the shared session pool —
+        both end in :func:`execute_request`, so artefacts are identical.
         """
         if not isinstance(request, JobRequest):
             request = JobRequest.from_payload(request)
 
-        def run(request: JobRequest = request) -> RunResult:
-            session = self.pool.get(request.tenant)
-            return execute_request(session, request)
+        if self.executor.remote:
+            task: Any = request.to_payload()
+        else:
 
-        job = self.queue.submit(request.tenant, run, kind=request.kind)
+            def run(request: JobRequest = request) -> RunResult:
+                session = self.pool.get(request.tenant)
+                return execute_request(session, request)
+
+            task = run
+
+        job = self.queue.submit(request.tenant, task, kind=request.kind)
         return JobTicket(job_id=job.job_id, tenant=job.tenant, status=job.status)
 
     def status(self, job_id: str) -> dict[str, Any]:
@@ -110,8 +156,12 @@ class Server:
 
     # -- bookkeeping -----------------------------------------------------------
     def stats(self) -> dict[str, Any]:
-        """Queue and pool counters (what ``GET /stats`` returns)."""
-        return {"queue": self.queue.stats(), "pool": self.pool.stats()}
+        """Queue, pool and executor counters (what ``GET /stats`` returns)."""
+        return {
+            "queue": self.queue.stats(),
+            "pool": self.pool.stats(),
+            "executor": self.executor.stats(),
+        }
 
     def close(self) -> None:
         """Shut the queue down and close every pooled session."""

@@ -374,11 +374,14 @@ class TestServerIsolation:
         ]
 
     def test_concurrent_tenants_isolated_counters_and_identical_bytes(self):
+        # Pinned to the thread executor: the assertions replay the *parent*
+        # pool's per-tenant counters, which only the in-process executor
+        # uses (process-executor parity is pinned in test_serve_executor).
         tenants = [f"tenant-{i}" for i in range(self.N_TENANTS)]
         payload_sets = {
             tenant: self._payloads(tenant, index) for index, tenant in enumerate(tenants)
         }
-        with Server(workers=self.N_TENANTS, max_queue=64) as server:
+        with Server(workers=self.N_TENANTS, max_queue=64, executor="thread") as server:
             tickets: dict[str, list] = {tenant: [] for tenant in tenants}
             # Interleave submissions so all four tenants contend for workers.
             for round_index in range(self.JOBS_PER_TENANT):
@@ -407,7 +410,7 @@ class TestServerIsolation:
             assert served_counters[tenant] == bare_session.kernel_stats()
 
     def test_counters_do_not_leak_between_tenants(self):
-        with Server(workers=2) as server:
+        with Server(workers=2, executor="thread") as server:
             busy, idle = "busy", "idle"
             server.result(server.submit(self._payloads(idle, 0)[0]).job_id, WAIT)
             idle_before = server.pool.peek(idle).kernel_stats()
@@ -434,7 +437,8 @@ class TestServer:
             "repro.serve.server.execute_request",
             lambda session, request: gate.wait(WAIT),
         )
-        with Server(workers=1) as server:
+        # Monkeypatched execution only exists in this process: pin thread.
+        with Server(workers=1, executor="thread") as server:
             ticket = server.submit(discover_payload("acme", make_relation()))
             with pytest.raises(TimeoutError):
                 server.result(ticket.job_id, timeout=0.05)
@@ -560,7 +564,7 @@ class TestHttpFrontend:
             "repro.serve.server.execute_request",
             lambda session, request: gate.wait(WAIT),
         )
-        server = Server(workers=1, max_queue=1)
+        server = Server(workers=1, max_queue=1, executor="thread")
         frontend = HttpFrontend(server, port=0).start()
         try:
             host, port = frontend.address
@@ -587,7 +591,7 @@ class TestHttpFrontend:
             "repro.serve.server.execute_request",
             lambda session, request: gate.wait(WAIT),
         )
-        server = Server(workers=1)
+        server = Server(workers=1, executor="thread")
         frontend = HttpFrontend(server, port=0).start()
         try:
             host, port = frontend.address
@@ -619,12 +623,31 @@ class TestServeCLI:
             "tenants.json",
             "--timeout",
             "2.5",
+            "--executor",
+            "process",
+            "--no-warmup",
+            "--start-method",
+            "spawn",
         ]
         args = build_serve_parser().parse_args(flags)
         assert args.workers == 8
         assert args.max_queue == 128
         assert args.tenant_config == "tenants.json"
         assert args.timeout == 2.5
+        assert args.executor == "process"
+        assert args.warmup is False
+        assert args.start_method == "spawn"
+
+    def test_parser_defaults_come_from_env(self, monkeypatch):
+        from repro.serve.cli import build_serve_parser
+
+        monkeypatch.setenv("REPRO_SERVE_EXECUTOR", "process")
+        monkeypatch.setenv("REPRO_SERVE_WORKERS", "6")
+        monkeypatch.setenv("REPRO_SERVE_WARMUP", "0")
+        args = build_serve_parser().parse_args([])
+        assert args.executor == "process"
+        assert args.workers == 6
+        assert args.warmup is False
 
     def test_missing_tenant_config_fails_cleanly(self, capsys):
         from repro.serve.cli import main_serve
@@ -632,7 +655,8 @@ class TestServeCLI:
         assert main_serve(["--tenant-config", "/nonexistent/tenants.json"]) == 2
         assert "error:" in capsys.readouterr().out
 
-    def test_python_m_repro_serve_end_to_end(self, tmp_path):
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_python_m_repro_serve_end_to_end(self, tmp_path, executor):
         """`python -m repro serve` boots, serves a job over HTTP, shuts down."""
         tenant_config = tmp_path / "tenants.json"
         tenant_config.write_text(json.dumps({"acme": {"backend": "auto"}}))
@@ -645,6 +669,8 @@ class TestServeCLI:
             "0",
             "--workers",
             "2",
+            "--executor",
+            executor,
             "--tenant-config",
             str(tenant_config),
         ]

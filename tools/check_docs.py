@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Documentation link checker (the `docs` CI job's gate).
+
+Scans the repo's Markdown documentation for `[text](target)` links and
+verifies, without touching the network:
+
+* every **relative** link resolves to an existing file or directory
+  (anchors are split off first);
+* every **intra-repo anchor** (`file.md#heading` or `#heading`) matches a
+  heading in the target file, using GitHub's slug rules;
+* `http(s)` links are *not* fetched (CI must not flake on the network) —
+  they are only counted;
+* a small set of **required links** exists: the README must link into
+  `docs/` and `examples/`, and `docs/API.md` must link to both
+  `docs/ARCHITECTURE.md` and `docs/PROTOCOL.md` (the documentation-suite
+  acceptance criteria, kept green by CI).
+
+Exit status is non-zero on any broken link, with one line per finding.
+
+Usage::
+
+    python tools/check_docs.py            # check the default file set
+    python tools/check_docs.py FILE.md…   # check specific files
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Files checked when no arguments are given.
+DEFAULT_FILES = ("README.md", "docs/API.md", "docs/ARCHITECTURE.md", "docs/PROTOCOL.md")
+
+#: (source file, link target) pairs that MUST be present.
+REQUIRED_LINKS = (
+    ("README.md", "docs/API.md"),
+    ("README.md", "docs/ARCHITECTURE.md"),
+    ("README.md", "docs/PROTOCOL.md"),
+    ("README.md", "examples/quickstart.py"),
+    ("README.md", "examples/serve_client.py"),
+    ("docs/API.md", "ARCHITECTURE.md"),
+    ("docs/API.md", "PROTOCOL.md"),
+)
+
+#: Inline Markdown links: [text](target).  Images share the syntax apart
+#: from the leading "!"; both resolve the same way.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: ATX headings, for anchor validation.
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+#: Fenced code blocks are stripped before link/heading extraction.
+_FENCE_RE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug of a heading (best-effort, ASCII docs)."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    content = _FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    for match in _HEADING_RE.finditer(content):
+        slug = github_slug(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def iter_links(path: Path) -> list[str]:
+    content = _FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    return _LINK_RE.findall(content)
+
+
+def check_file(path: Path) -> tuple[list[str], list[str]]:
+    """Returns (errors, link targets seen) for one Markdown file."""
+    errors: list[str] = []
+    seen: list[str] = []
+    for target in iter_links(path):
+        seen.append(target)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue  # external: counted, never fetched
+        base, _, anchor = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                errors.append(f"{path.relative_to(REPO_ROOT)}: broken link -> {target}")
+                continue
+            if REPO_ROOT not in resolved.parents and resolved != REPO_ROOT:
+                errors.append(f"{path.relative_to(REPO_ROOT)}: link escapes repo -> {target}")
+                continue
+        else:
+            resolved = path
+        if anchor and resolved.suffix == ".md":
+            if anchor not in heading_slugs(resolved):
+                errors.append(f"{path.relative_to(REPO_ROOT)}: missing anchor -> {target}")
+    return errors, seen
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        files = [Path(arg).resolve() for arg in argv]
+    else:
+        files = [REPO_ROOT / name for name in DEFAULT_FILES]
+    errors: list[str] = []
+    links_by_file: dict[str, list[str]] = {}
+    for path in files:
+        if not path.exists():
+            errors.append(f"missing documentation file: {path.relative_to(REPO_ROOT)}")
+            continue
+        file_errors, seen = check_file(path)
+        errors.extend(file_errors)
+        links_by_file[str(path.relative_to(REPO_ROOT))] = seen
+        print(f"checked {path.relative_to(REPO_ROOT)}: {len(seen)} links")
+    if not argv:
+        for source, required in REQUIRED_LINKS:
+            targets = {link.partition("#")[0] for link in links_by_file.get(source, ())}
+            if required not in targets:
+                errors.append(f"{source}: required link to {required} is missing")
+    for error in errors:
+        print(f"ERROR: {error}", file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} documentation error(s)", file=sys.stderr)
+        return 1
+    print("documentation links OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
