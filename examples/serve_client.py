@@ -3,9 +3,11 @@
 This example is fully self-contained: it boots the HTTP serving endpoint
 in-process on an ephemeral port (exactly what ``python -m repro serve``
 runs), then acts as a plain HTTP client against it — build a
-``repro/job-request-v1`` payload, ``POST /jobs``, poll ``GET /jobs/<id>``
-until the job is terminal, and reconstruct the ``RunResult`` from the
-``result`` field of the status payload.
+``repro/job-request-v1`` payload with an end-to-end ``deadline_ms``,
+``POST /jobs`` with client-side backoff on 429 (honouring the
+``Retry-After`` hint), poll ``GET /jobs/<id>`` until the job is terminal,
+and reconstruct the ``RunResult`` from the ``result`` field of the status
+payload.
 
 Against a real deployment, drop the server-bootstrap block and point
 ``HOST``/``PORT`` at the running endpoint.
@@ -32,9 +34,26 @@ def call(host, port, method, path, body=None):
         payload = None if body is None else json.dumps(body)
         connection.request(method, path, payload, {"Content-Type": "application/json"})
         response = connection.getresponse()
-        return response.status, json.loads(response.read())
+        return response.status, dict(response.getheaders()), json.loads(response.read())
     finally:
         connection.close()
+
+
+def submit_with_backoff(host, port, request, max_tries=8):
+    """POST /jobs, backing off on 429 as the Retry-After header asks.
+
+    429 means the queue is full — a well-behaved client waits the hinted
+    number of seconds (the server derives it from queue depth) instead of
+    hammering the endpoint.  Scaled down here so the example stays snappy.
+    """
+    for attempt in range(1, max_tries + 1):
+        status, headers, body = call(host, port, "POST", "/jobs", request)
+        if status != 429:
+            return status, body
+        hint = int(headers.get("Retry-After", "1"))
+        print(f"POST /jobs -> 429 queue full; retrying in {hint}s (attempt {attempt})")
+        time.sleep(min(hint, 0.2))  # real clients: time.sleep(hint)
+    raise SystemExit("queue stayed full; giving up")
 
 
 def main():
@@ -66,22 +85,30 @@ def main():
             "relation": relation_to_payload(relation),
             "params": {"algorithm": "tane"},
             "overrides": {},
+            # End-to-end deadline (queue wait + execution): past it the job
+            # turns `deadline_exceeded` instead of occupying a worker.
+            "deadline_ms": 20_000,
         }
 
-        # -- submit -----------------------------------------------------------
-        status, ticket = call(host, port, "POST", "/jobs", request)
+        # -- submit (with 429 backoff) ----------------------------------------
+        status, ticket = submit_with_backoff(host, port, request)
         print(f"POST /jobs -> {status} ticket={ticket['job_id']} ({ticket['status']})")
 
         # -- poll until terminal ----------------------------------------------
         deadline = time.monotonic() + 30
         while True:
-            status, body = call(host, port, "GET", f"/jobs/{ticket['job_id']}")
-            if body["status"] in ("done", "failed", "cancelled"):
+            status, _, body = call(host, port, "GET", f"/jobs/{ticket['job_id']}")
+            if body["status"] in ("done", "failed", "cancelled", "deadline_exceeded"):
                 break
             if time.monotonic() > deadline:
                 raise SystemExit("job did not finish in time")
             time.sleep(0.05)
-        print(f"GET /jobs/{ticket['job_id']} -> {body['status']}")
+        print(
+            f"GET /jobs/{ticket['job_id']} -> {body['status']} "
+            f"(attempts={body['attempts']}, deadline_ms={body['deadline_ms']})"
+        )
+        if body["status"] != "done":
+            raise SystemExit(f"job ended {body['status']}: {body['error']}")
 
         # -- fetch the RunResult ----------------------------------------------
         # The result field is a repro/run-result-v1 payload: byte-identical to

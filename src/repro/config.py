@@ -28,7 +28,7 @@ import hashlib
 import json
 import os
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Callable, Iterable, Mapping
 
 #: Environment variable forcing the backend (``python`` / ``numpy`` / ``auto``).
 ENV_BACKEND = "REPRO_PARTITION_BACKEND"
@@ -75,6 +75,16 @@ def _env_bool(env: Mapping[str, str], name: str, default: bool) -> bool:
     if raw is None or raw == "":
         return default
     return raw.strip().lower() not in ("0", "false", "no", "off")
+
+
+def _env_float(env: Mapping[str, str], name: str, default: float, minimum: float = 0.0) -> float:
+    raw = env.get(name)
+    if raw:
+        try:
+            return max(minimum, float(raw))
+        except ValueError:
+            pass
+    return default
 
 
 class ConfigError(ValueError):
@@ -235,8 +245,41 @@ ENV_SERVE_WARMUP = "REPRO_SERVE_WARMUP"
 #: process executor (``spawn``/``fork``/``forkserver``).
 ENV_SERVE_START_METHOD = "REPRO_SERVE_START_METHOD"
 
+#: Environment variable holding a fault-injection plan spec (see
+#: :mod:`repro.serve.faults`; the literal is duplicated here so ``config``
+#: never imports the serving package).  Empty/unset disables injection.
+ENV_SERVE_FAULTS = "REPRO_FAULTS"
+
+#: Environment variable capping execution attempts per job (infra retries).
+ENV_SERVE_MAX_ATTEMPTS = "REPRO_SERVE_MAX_ATTEMPTS"
+
+#: Environment variable setting the worker-respawn budget per rolling window.
+ENV_SERVE_RESTART_BUDGET = "REPRO_SERVE_RESTART_BUDGET"
+
+#: Environment variable setting the rolling respawn-budget window (seconds).
+ENV_SERVE_RESTART_WINDOW = "REPRO_SERVE_RESTART_WINDOW"
+
+#: Environment variable toggling the degraded-mode inline fallback (``1``/``0``).
+ENV_SERVE_DEGRADED_FALLBACK = "REPRO_SERVE_DEGRADED_FALLBACK"
+
+#: Environment variable setting the graceful-drain deadline (seconds).
+ENV_SERVE_DRAIN_DEADLINE = "REPRO_SERVE_DRAIN_DEADLINE"
+
 #: Default serving worker count (threads or worker processes).
 DEFAULT_SERVE_WORKERS = 4
+
+#: Default execution attempts per job: one retry-capable serving stack, but
+#: conservative (the first infra failure is retried twice at most).
+DEFAULT_SERVE_MAX_ATTEMPTS = 3
+
+#: Default worker-respawn budget within the rolling window.
+DEFAULT_SERVE_RESTART_BUDGET = 5
+
+#: Default rolling window of the respawn budget, in seconds.
+DEFAULT_SERVE_RESTART_WINDOW = 30.0
+
+#: Default graceful-drain deadline, in seconds.
+DEFAULT_SERVE_DRAIN_DEADLINE = 10.0
 
 _EXECUTOR_CHOICES = ("thread", "process")
 
@@ -265,12 +308,38 @@ class ServeConfig:
         ``multiprocessing`` start method of the process executor.  ``spawn``
         is the safe default (fresh interpreter per worker); ``fork`` starts
         faster but inherits parent threads' lock state.
+    max_attempts:
+        Execution attempts per job: *infra* failures (worker killed, broken
+        pipe, injected transient faults) are retried with capped exponential
+        backoff up to this many attempts total; *application* failures never
+        retry.  Safe because runs are pure — a retried job's artefacts are
+        byte-identical to a first-try run.  ``1`` disables retries.
+    restart_budget / restart_window:
+        Supervision of process workers: more than ``restart_budget`` worker
+        respawns within the rolling ``restart_window`` seconds marks the
+        executor *degraded* (``/healthz`` turns 503).
+    degraded_fallback:
+        When the process executor is degraded, run jobs inline in the server
+        process (the thread-executor path — same dispatch, byte-identical
+        artefacts) instead of feeding a crash-looping worker fleet.
+    drain_deadline:
+        Graceful-shutdown bound in seconds: running jobs get this long to
+        drain before overrunning process workers are terminated.
+    faults:
+        Fault-injection plan spec (see :mod:`repro.serve.faults`), parsed by
+        the serving layer; ``None``/empty disables injection (zero overhead).
     """
 
     executor: str = "thread"
     workers: int = DEFAULT_SERVE_WORKERS
     warmup: bool = True
     start_method: str = "spawn"
+    max_attempts: int = DEFAULT_SERVE_MAX_ATTEMPTS
+    restart_budget: int = DEFAULT_SERVE_RESTART_BUDGET
+    restart_window: float = DEFAULT_SERVE_RESTART_WINDOW
+    degraded_fallback: bool = False
+    drain_deadline: float = DEFAULT_SERVE_DRAIN_DEADLINE
+    faults: str | None = None
 
     def __post_init__(self) -> None:
         if self.executor not in _EXECUTOR_CHOICES:
@@ -285,14 +354,25 @@ class ServeConfig:
                 f"unknown start method {self.start_method!r}: "
                 f"expected one of {_START_METHOD_CHOICES}"
             )
+        if self.max_attempts < 1:
+            raise ConfigError(f"max_attempts must be at least 1, got {self.max_attempts}")
+        if self.restart_budget < 0:
+            raise ConfigError(
+                f"restart_budget must be non-negative, got {self.restart_budget}"
+            )
+        if self.restart_window <= 0:
+            raise ConfigError(f"restart_window must be positive, got {self.restart_window}")
+        if self.drain_deadline <= 0:
+            raise ConfigError(f"drain_deadline must be positive, got {self.drain_deadline}")
 
     @classmethod
     def from_env(cls, env: Mapping[str, str] | None = None) -> "ServeConfig":
         """Parse the environment-variable defaults into a serving configuration.
 
         Unset variables fall back to the built-in defaults (thread executor,
-        4 workers, warmup on, ``spawn``); malformed choices raise
-        :class:`ConfigError` rather than silently degrading.
+        4 workers, warmup on, ``spawn``, 3 attempts, no fault plan);
+        malformed choices raise :class:`ConfigError` rather than silently
+        degrading.
         """
         if env is None:
             env = os.environ
@@ -303,7 +383,66 @@ class ServeConfig:
             workers=_env_int(env, ENV_SERVE_WORKERS, DEFAULT_SERVE_WORKERS, minimum=1),
             warmup=_env_bool(env, ENV_SERVE_WARMUP, True),
             start_method=start_method,
+            max_attempts=_env_int(
+                env, ENV_SERVE_MAX_ATTEMPTS, DEFAULT_SERVE_MAX_ATTEMPTS, minimum=1
+            ),
+            restart_budget=_env_int(
+                env, ENV_SERVE_RESTART_BUDGET, DEFAULT_SERVE_RESTART_BUDGET
+            ),
+            restart_window=_env_float(
+                env, ENV_SERVE_RESTART_WINDOW, DEFAULT_SERVE_RESTART_WINDOW, minimum=0.001
+            ),
+            degraded_fallback=_env_bool(env, ENV_SERVE_DEGRADED_FALLBACK, False),
+            drain_deadline=_env_float(
+                env, ENV_SERVE_DRAIN_DEADLINE, DEFAULT_SERVE_DRAIN_DEADLINE, minimum=0.001
+            ),
+            faults=(env.get(ENV_SERVE_FAULTS) or "").strip() or None,
         )
+
+    @classmethod
+    def from_env_fields(
+        cls, names: "Iterable[str]", env: Mapping[str, str] | None = None
+    ) -> dict[str, object]:
+        """Parse just ``names`` from the environment (see :meth:`from_env`).
+
+        Lets a caller resolve only the fields it actually left defaulted: a
+        server constructed with an explicit executor must not fail on (or
+        vary with) a malformed ``REPRO_SERVE_*`` variable it never reads.
+        The returned values are validated (malformed requested variables
+        still raise :class:`ConfigError`).
+        """
+        if env is None:
+            env = os.environ
+        parsers: dict[str, Callable[[], object]] = {
+            "executor": lambda: (env.get(ENV_SERVE_EXECUTOR) or "thread").strip().lower()
+            or "thread",
+            "workers": lambda: _env_int(env, ENV_SERVE_WORKERS, DEFAULT_SERVE_WORKERS, minimum=1),
+            "warmup": lambda: _env_bool(env, ENV_SERVE_WARMUP, True),
+            "start_method": lambda: (env.get(ENV_SERVE_START_METHOD) or "spawn").strip().lower()
+            or "spawn",
+            "max_attempts": lambda: _env_int(
+                env, ENV_SERVE_MAX_ATTEMPTS, DEFAULT_SERVE_MAX_ATTEMPTS, minimum=1
+            ),
+            "restart_budget": lambda: _env_int(
+                env, ENV_SERVE_RESTART_BUDGET, DEFAULT_SERVE_RESTART_BUDGET
+            ),
+            "restart_window": lambda: _env_float(
+                env, ENV_SERVE_RESTART_WINDOW, DEFAULT_SERVE_RESTART_WINDOW, minimum=0.001
+            ),
+            "degraded_fallback": lambda: _env_bool(env, ENV_SERVE_DEGRADED_FALLBACK, False),
+            "drain_deadline": lambda: _env_float(
+                env, ENV_SERVE_DRAIN_DEADLINE, DEFAULT_SERVE_DRAIN_DEADLINE, minimum=0.001
+            ),
+            "faults": lambda: (env.get(ENV_SERVE_FAULTS) or "").strip() or None,
+        }
+        unknown = set(names) - set(parsers)
+        if unknown:
+            raise ConfigError(f"unknown ServeConfig fields: {sorted(unknown)}")
+        values = {name: parsers[name]() for name in names}
+        # Validate only the requested fields: everything else stays at its
+        # (always valid) built-in default.
+        cls(**values)  # type: ignore[arg-type]
+        return values
 
     def as_dict(self) -> dict[str, object]:
         """The configuration as a JSON-native dictionary."""

@@ -29,6 +29,18 @@ engine behind a concurrent front door:
   :class:`~repro.serve.server.HttpFrontend`, a blocking stdlib
   ``http.server`` endpoint (``POST /jobs``, ``GET /jobs/<id>``,
   ``DELETE /jobs/<id>``, ``GET /healthz``, ``GET /stats``).
+* :mod:`~repro.serve.faults` — deterministic fault injection
+  (:class:`~repro.serve.faults.FaultPlan`): seeded worker kills, delays,
+  pipe drops and transient errors at named sites, the substrate of the
+  chaos test suite and zero-overhead when disabled.
+
+The stack is fault tolerant: infra failures (killed workers, broken pipes)
+retry with capped exponential backoff + deterministic jitter up to
+``max_attempts``; an optional per-job ``deadline_ms`` covers queue wait and
+execution (overruns become ``deadline_exceeded``); a restart-budget
+supervisor marks a crash-looping process executor *degraded* (503 on
+``/healthz``, optional inline fallback); ``close()`` drains within a
+configurable deadline.
 
 ``python -m repro serve`` starts the HTTP endpoint from the command line
 (see :mod:`repro.serve.cli`).
@@ -38,15 +50,20 @@ from .executor import (
     EXECUTOR_KINDS,
     ProcessExecutor,
     RemoteJobError,
+    RestartSupervisor,
     ThreadExecutor,
     WorkerCrashed,
     WorkerExecutor,
     make_executor,
 )
+from .faults import FaultPlan, FaultRule, FaultSpecError, InjectedFault
 from .jobs import (
     CANCELLED,
+    DEADLINE_EXCEEDED,
     DONE,
     FAILED,
+    FAILURE_APPLICATION,
+    FAILURE_INFRA,
     JOB_STATES,
     QUEUED,
     RUNNING,
@@ -54,6 +71,8 @@ from .jobs import (
     JobQueue,
     QueueClosed,
     QueueFull,
+    classify_failure,
+    retry_backoff,
 )
 from .pool import SessionPool
 from .protocol import (
@@ -73,9 +92,12 @@ from .server import HttpFrontend, Server
 
 __all__ = [
     "CANCELLED",
+    "DEADLINE_EXCEEDED",
     "DONE",
     "EXECUTOR_KINDS",
     "FAILED",
+    "FAILURE_APPLICATION",
+    "FAILURE_INFRA",
     "JOB_REQUEST_SCHEMA",
     "JOB_STATES",
     "JOB_STATUS_SCHEMA",
@@ -83,7 +105,11 @@ __all__ = [
     "QUEUED",
     "REQUEST_KINDS",
     "RUNNING",
+    "FaultPlan",
+    "FaultRule",
+    "FaultSpecError",
     "HttpFrontend",
+    "InjectedFault",
     "Job",
     "JobQueue",
     "JobRequest",
@@ -93,14 +119,17 @@ __all__ = [
     "QueueClosed",
     "QueueFull",
     "RemoteJobError",
+    "RestartSupervisor",
     "Server",
     "SessionPool",
     "ThreadExecutor",
     "WorkerCrashed",
     "WorkerExecutor",
+    "classify_failure",
     "execute_payload",
     "execute_request",
     "make_executor",
     "relation_to_payload",
     "relation_from_payload",
+    "retry_backoff",
 ]

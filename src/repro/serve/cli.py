@@ -32,10 +32,22 @@ a bare session run) once ``status`` is ``done``.
 from __future__ import annotations
 
 import argparse
+import signal
 from typing import Sequence
 
 from ..config import ConfigError, ServeConfig, load_tenant_configs
 from .server import HttpFrontend, Server
+
+
+class _GracefulShutdown(Exception):
+    """Raised out of ``serve_forever`` by the SIGTERM handler.
+
+    ``HTTPServer.shutdown()`` deadlocks when called from the thread running
+    ``serve_forever`` (it blocks until that loop acknowledges), and signal
+    handlers run on the main thread — so the handler raises instead, which
+    unwinds ``serve_forever`` exactly like ``KeyboardInterrupt`` does for
+    Ctrl-C, and the ``finally`` block performs the bounded drain.
+    """
 
 
 def build_serve_parser() -> argparse.ArgumentParser:
@@ -119,6 +131,55 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="JSON file mapping tenant names to partial "
         "EngineConfig fields ('*' sets the default)",
     )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=defaults.max_attempts,
+        help="total tries per job for infra failures (killed worker, "
+        "broken pipe); application failures never retry "
+        f"(default: {defaults.max_attempts})",
+    )
+    parser.add_argument(
+        "--restart-budget",
+        type=int,
+        default=defaults.restart_budget,
+        help="process-worker respawns tolerated per rolling window "
+        "before the executor reports degraded and /healthz turns 503 "
+        f"(default: {defaults.restart_budget})",
+    )
+    parser.add_argument(
+        "--restart-window",
+        type=float,
+        default=defaults.restart_window,
+        metavar="SECONDS",
+        help="length of the rolling respawn-budget window "
+        f"(default: {defaults.restart_window:g})",
+    )
+    parser.add_argument(
+        "--degraded-fallback",
+        action=argparse.BooleanOptionalAction,
+        default=defaults.degraded_fallback,
+        help="while degraded, run jobs inline in the server process "
+        "instead of on crash-looping workers (artefacts stay "
+        "byte-identical)",
+    )
+    parser.add_argument(
+        "--drain-deadline",
+        type=float,
+        default=defaults.drain_deadline,
+        metavar="SECONDS",
+        help="on SIGTERM/Ctrl-C, bound on waiting for running jobs; "
+        "overrunning process workers are terminated past it "
+        f"(default: {defaults.drain_deadline:g})",
+    )
+    parser.add_argument(
+        "--faults",
+        default=defaults.faults,
+        metavar="SPEC",
+        help="arm deterministic fault injection (chaos testing), e.g. "
+        "'seed=7;process.kill:kill:p=0.05' — see repro.serve.faults "
+        "(default: $REPRO_FAULTS)",
+    )
     parser.add_argument("--verbose", action="store_true", help="log every HTTP request to stderr")
     return parser
 
@@ -141,6 +202,12 @@ def main_serve(argv: Sequence[str] | None = None) -> int:
         executor=args.executor,
         warmup=args.warmup,
         start_method=args.start_method,
+        max_attempts=args.max_attempts,
+        restart_budget=args.restart_budget,
+        restart_window=args.restart_window,
+        degraded_fallback=args.degraded_fallback,
+        drain_deadline=args.drain_deadline,
+        faults=args.faults,
     )
     frontend = HttpFrontend(server, host=args.host, port=args.port, verbose=args.verbose)
     host, port = frontend.address
@@ -148,12 +215,26 @@ def main_serve(argv: Sequence[str] | None = None) -> int:
         f"serving on http://{host}:{port} (executor={args.executor}, "
         f"workers={args.workers}, max-queue={args.max_queue})"
     )
-    print(banner, flush=True)
+    def _on_sigterm(signum, frame):  # pragma: no cover - signal path, tested via subprocess
+        raise _GracefulShutdown
+
+    # Installed before the banner prints: the banner is the "ready" signal
+    # scripts and tests synchronise on, so SIGTERM must already be graceful
+    # by then — and the banner prints inside the try so a signal landing
+    # right after it is caught, not raised between statements.
+    previous = signal.signal(signal.SIGTERM, _on_sigterm)
     try:
+        print(banner, flush=True)
         frontend.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         print("shutting down")
+    except _GracefulShutdown:
+        # Stop accepting connections first, then drain: running jobs get up
+        # to --drain-deadline seconds, queued ones are cancelled.
+        print(f"SIGTERM: draining (deadline {args.drain_deadline:g}s)", flush=True)
     finally:
+        signal.signal(signal.SIGTERM, previous)
         frontend.stop()
         server.close()
+        print("drained", flush=True)
     return 0

@@ -37,10 +37,21 @@ import multiprocessing
 import os
 import threading
 import time
+from collections import deque
 from typing import TYPE_CHECKING, Any, Mapping
+
+from .faults import (
+    SITE_PROCESS_KILL,
+    SITE_PROCESS_RECV,
+    SITE_PROCESS_SEND,
+    SITE_THREAD_RUN,
+    FaultPlan,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from multiprocessing.connection import Connection
+
+    from .pool import SessionPool
 
 #: Executor kinds selectable by name (CLI ``--executor``, ``ServeConfig``).
 EXECUTOR_KINDS = ("thread", "process")
@@ -57,6 +68,63 @@ class RemoteJobError(RuntimeError):
     queue records exactly the error string the thread executor would have —
     failure diagnostics are executor-independent.
     """
+
+
+class RestartSupervisor:
+    """Restart-budget accounting over a rolling time window.
+
+    Every worker-process respawn is :meth:`record`\\ ed; the executor is
+    **degraded** while more than ``budget`` respawns happened within the
+    last ``window`` seconds.  Degradation is therefore self-healing: once
+    the crash storm stops and the events age out of the window, the
+    executor reports healthy again — no manual reset.
+    """
+
+    def __init__(self, budget: int = 5, window: float = 30.0) -> None:
+        if budget < 0:
+            raise ValueError(f"restart budget must be non-negative, got {budget}")
+        if window <= 0:
+            raise ValueError(f"restart window must be positive, got {window}")
+        self.budget = budget
+        self.window = window
+        self._lock = threading.Lock()
+        self._events: deque[float] = deque()
+        self._total = 0
+
+    def _prune_locked(self, now: float) -> None:
+        while self._events and self._events[0] <= now - self.window:
+            self._events.popleft()
+
+    def record(self) -> None:
+        """Count one respawn at the current time."""
+        now = time.monotonic()
+        with self._lock:
+            self._events.append(now)
+            self._total += 1
+            self._prune_locked(now)
+
+    def respawns_in_window(self) -> int:
+        """Respawns still inside the rolling window."""
+        with self._lock:
+            self._prune_locked(time.monotonic())
+            return len(self._events)
+
+    def degraded(self) -> bool:
+        """Whether the respawn budget is currently exceeded."""
+        return self.respawns_in_window() > self.budget
+
+    def snapshot(self) -> dict[str, Any]:
+        """The supervisor's state for health/stats payloads."""
+        in_window = self.respawns_in_window()
+        with self._lock:
+            total = self._total
+        return {
+            "restart_budget": self.budget,
+            "restart_window_s": self.window,
+            "respawns_in_window": in_window,
+            "respawns_total": total,
+            "degraded": in_window > self.budget,
+        }
 
 
 class WorkerExecutor:
@@ -77,6 +145,10 @@ class WorkerExecutor:
     #: in-process callables (``False``).
     remote = False
 
+    #: Optional :class:`~repro.serve.faults.FaultPlan` driving the
+    #: executor's injection sites (``None`` = disabled, zero overhead).
+    faults: "FaultPlan | None" = None
+
     def start(self, workers: int) -> None:
         """Allocate ``workers`` execution slots (called once by the queue)."""
         raise NotImplementedError
@@ -84,6 +156,16 @@ class WorkerExecutor:
     def execute(self, slot: int, task: Any) -> Any:
         """Run ``task`` on slot ``slot`` and return its result (may raise)."""
         raise NotImplementedError
+
+    def kill_slot(self, slot: int) -> bool:
+        """Forcibly reclaim the worker behind ``slot`` (deadline watchdog).
+
+        Returns ``True`` when a worker was actually killed.  The default is
+        a no-op: thread-backed slots cannot be preempted — the queue's
+        watchdog then relies on cooperative completion (the overrunning
+        job's result is discarded once it returns).
+        """
+        return False
 
     def close(self, timeout: float | None = 10.0) -> None:
         """Release execution resources; idempotent."""
@@ -105,19 +187,25 @@ class ThreadExecutor(WorkerExecutor):
     name = "thread"
     remote = False
 
+    def __init__(self, faults: "FaultPlan | None" = None) -> None:
+        self.faults = faults
+
     def start(self, workers: int) -> None:
         self._workers = workers
 
     def execute(self, slot: int, task: Any) -> Any:
         if not callable(task):
             raise TypeError(f"the thread executor runs callables, got {type(task).__name__}")
+        faults = self.faults
+        if faults is not None:
+            faults.fire(SITE_THREAD_RUN)
         return task()
 
     def close(self, timeout: float | None = 10.0) -> None:
         pass
 
     def stats(self) -> dict[str, Any]:
-        return {"executor": self.name, "workers": getattr(self, "_workers", 0)}
+        return {"executor": self.name, "workers": getattr(self, "_workers", 0), "degraded": False}
 
 
 # ---------------------------------------------------------------------------
@@ -213,6 +301,18 @@ class ProcessExecutor(WorkerExecutor):
         Start (and ping) every worker process eagerly in :meth:`start`, so
         the interpreter/import cost is paid at server boot instead of on the
         first job of each slot.  ``False`` spawns each worker lazily.
+    restart_budget / restart_window:
+        Crash-loop supervision: more than ``restart_budget`` respawns within
+        the rolling ``restart_window`` seconds marks the executor *degraded*
+        (reported by :meth:`stats`; ``/healthz`` maps it to 503).
+    fallback:
+        Degradation path: while degraded, run jobs **inline** in the server
+        process (the same :func:`~repro.serve.protocol.execute_payload`
+        dispatch a thread executor uses, so artefacts stay byte-identical)
+        instead of feeding a crash-looping worker fleet.
+    faults:
+        Optional :class:`~repro.serve.faults.FaultPlan` wired to the
+        ``process.send``/``process.recv``/``process.kill`` injection sites.
     """
 
     name = "process"
@@ -223,6 +323,10 @@ class ProcessExecutor(WorkerExecutor):
         tenant_configs_payload: Mapping[str, Mapping[str, Any]] | None = None,
         start_method: str = "spawn",
         warmup: bool = True,
+        restart_budget: int = 5,
+        restart_window: float = 30.0,
+        fallback: bool = False,
+        faults: "FaultPlan | None" = None,
     ) -> None:
         self._tenant_configs_payload = (
             None
@@ -232,6 +336,12 @@ class ProcessExecutor(WorkerExecutor):
         self._ctx = multiprocessing.get_context(start_method)
         self.start_method = start_method
         self.warmup = warmup
+        self.faults = faults
+        self.supervisor = RestartSupervisor(budget=restart_budget, window=restart_window)
+        self.fallback = fallback
+        self._fallback_lock = threading.Lock()
+        self._fallback_pool: "SessionPool | None" = None
+        self._fallback_jobs = 0
         self._slots: list[_ProcessSlot] = []
         self._lifecycle = threading.Lock()
         self._closed = False
@@ -263,14 +373,25 @@ class ProcessExecutor(WorkerExecutor):
             self._spawned += 1
 
     def _reap_and_respawn(self, slot: _ProcessSlot) -> tuple[int | None, int | None, bool]:
-        """Join a dead worker, record its identity, start a replacement.
+        """Reap a worker whose pipe failed, record its identity, start a replacement.
 
-        No replacement is started once the executor is closing (the death
-        was most likely the shutdown ``terminate`` itself)."""
+        The worker is usually already dead (SIGKILL, OOM, crash) and joins
+        immediately.  When the *pipe* failed but the process survived (a
+        dropped/truncated message), the stream is unusable either way — the
+        worker is terminated so a replacement never coexists with it (no
+        worker leak).  No replacement is started once the executor is
+        closing (the death was most likely the shutdown ``terminate``
+        itself)."""
         process = slot.process
         pid = exitcode = None
         if process is not None:
-            process.join(timeout=5.0)
+            process.join(timeout=0.25)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - terminate-resistant child
+                process.kill()
+                process.join(timeout=5.0)
             pid, exitcode = process.pid, process.exitcode
         if slot.conn is not None:
             slot.conn.close()
@@ -280,6 +401,7 @@ class ProcessExecutor(WorkerExecutor):
             if not closed:
                 self._respawns += 1
         if not closed:
+            self.supervisor.record()
             self._spawn(slot)
         return pid, exitcode, not closed
 
@@ -295,13 +417,27 @@ class ProcessExecutor(WorkerExecutor):
                 "the process executor runs job payloads or picklable "
                 f"callables, got {type(task).__name__}"
             )
+        if self.fallback and self.supervisor.degraded():
+            return self._execute_inline(task)
+        faults = self.faults
         with slot.lock:
             slot.busy = True
             try:
                 if slot.process is None or not slot.process.is_alive():
                     self._spawn(slot)
                 try:
+                    if faults is not None:
+                        # The OOM-kill simulation: SIGKILL the slot's worker
+                        # right before the job is handed to it.
+                        process = slot.process
+                        faults.fire(
+                            SITE_PROCESS_KILL,
+                            on_kill=process.kill if process is not None else None,
+                        )
+                        faults.fire(SITE_PROCESS_SEND)
                     slot.conn.send(message)
+                    if faults is not None:
+                        faults.fire(SITE_PROCESS_RECV)
                     kind, value = slot.conn.recv()
                 except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as exc:
                     pid, exitcode, respawned = self._reap_and_respawn(slot)
@@ -323,6 +459,51 @@ class ProcessExecutor(WorkerExecutor):
         if kind == "value":
             return value
         raise RemoteJobError(value)
+
+    def _execute_inline(self, task: Any) -> Any:
+        """Run ``task`` in the server process — the degraded-mode fallback.
+
+        Job payloads go through the exact :func:`execute_payload` dispatch
+        the worker processes use (against a lazily built local pool with the
+        same per-tenant configuration), so fallback artefacts stay
+        byte-identical; callables are simply called, like a thread executor.
+        """
+        with self._fallback_lock:
+            self._fallback_jobs += 1
+            if self._fallback_pool is None:
+                from ..config import EngineConfig
+                from .pool import SessionPool
+
+                configs = None
+                if self._tenant_configs_payload is not None:
+                    configs = {
+                        tenant: EngineConfig.from_dict(fields)
+                        for tenant, fields in self._tenant_configs_payload.items()
+                    }
+                self._fallback_pool = SessionPool(configs)
+            pool = self._fallback_pool
+        if isinstance(task, Mapping):
+            from .protocol import execute_payload
+
+            return execute_payload(pool, task)
+        return task()
+
+    def kill_slot(self, slot_index: int) -> bool:
+        """SIGKILL the slot's worker process (the deadline watchdog's lever).
+
+        Deliberately lock-free: the slot's lock is held by the queue thread
+        blocked on the worker's reply — the kill is what unblocks it (its
+        ``recv`` fails, the slot reaps and respawns).  The unavoidable race
+        with a concurrent respawn at worst kills a fresh worker, which the
+        infra-retry path absorbs.
+        """
+        if not 0 <= slot_index < len(self._slots):
+            return False
+        process = self._slots[slot_index].process
+        if process is None or not process.is_alive():
+            return False
+        process.kill()
+        return True
 
     # -- shutdown --------------------------------------------------------------
     def close(self, timeout: float | None = 10.0) -> None:
@@ -383,17 +564,31 @@ class ProcessExecutor(WorkerExecutor):
 
     def stats(self) -> dict[str, Any]:
         processes = [slot.process for slot in self._slots]
-        alive = sum(1 for process in processes if process is not None and process.is_alive())
+        slots = [
+            {
+                "pid": process.pid if process is not None else None,
+                "alive": process is not None and process.is_alive(),
+            }
+            for process in processes
+        ]
+        alive = sum(1 for entry in slots if entry["alive"])
         with self._lifecycle:
             spawned, respawns = self._spawned, self._respawns
+        with self._fallback_lock:
+            fallback_jobs = self._fallback_jobs
+        supervision = self.supervisor.snapshot()
         return {
             "executor": self.name,
             "workers": len(self._slots),
             "alive": alive,
+            "slots": slots,
             "spawned": spawned,
             "respawns": respawns,
             "start_method": self.start_method,
             "host_cpu_count": os.cpu_count(),
+            "fallback": self.fallback,
+            "fallback_jobs": fallback_jobs,
+            **supervision,
         }
 
 
@@ -402,14 +597,22 @@ def make_executor(
     tenant_configs_payload: Mapping[str, Mapping[str, Any]] | None = None,
     start_method: str = "spawn",
     warmup: bool = True,
+    restart_budget: int = 5,
+    restart_window: float = 30.0,
+    fallback: bool = False,
+    faults: "FaultPlan | None" = None,
 ) -> WorkerExecutor:
     """Build a :class:`WorkerExecutor` from its CLI/config name."""
     if kind == "thread":
-        return ThreadExecutor()
+        return ThreadExecutor(faults=faults)
     if kind == "process":
         return ProcessExecutor(
             tenant_configs_payload=tenant_configs_payload,
             start_method=start_method,
             warmup=warmup,
+            restart_budget=restart_budget,
+            restart_window=restart_window,
+            fallback=fallback,
+            faults=faults,
         )
     raise ValueError(f"unknown executor kind {kind!r}: expected one of {EXECUTOR_KINDS}")

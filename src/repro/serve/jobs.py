@@ -32,12 +32,15 @@ a per-job :class:`threading.Event`, so waiters never poll.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
+import math
 import threading
 import time
 from typing import Any, Callable
 
-from .executor import RemoteJobError, ThreadExecutor, WorkerExecutor
+from .executor import RemoteJobError, ThreadExecutor, WorkerCrashed, WorkerExecutor
+from .faults import SITE_QUEUE_EXECUTE, FaultPlan
 
 #: Job lifecycle states.
 QUEUED = "queued"
@@ -45,16 +48,65 @@ RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
 CANCELLED = "cancelled"
+DEADLINE_EXCEEDED = "deadline_exceeded"
 
 #: Every job state, in lifecycle order.
-JOB_STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+JOB_STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED, DEADLINE_EXCEEDED)
 
 #: States a job can no longer leave.
-_TERMINAL = frozenset({DONE, FAILED, CANCELLED})
+_TERMINAL = frozenset({DONE, FAILED, CANCELLED, DEADLINE_EXCEEDED})
+
+#: Failure classes: *infra* failures (worker death, broken pipes, injected
+#: transient faults) are the environment's fault and safe to retry — runs
+#: are pure, so a retried job's artefacts are byte-identical; *application*
+#: failures (bad params, engine errors) are deterministic and never retried.
+FAILURE_INFRA = "infra"
+FAILURE_APPLICATION = "application"
+
+
+def classify_failure(exc: BaseException) -> str:
+    """``infra`` or ``application`` for an execution failure.
+
+    Infrastructure failures are transport/worker-level: a crashed worker
+    process, any :class:`ConnectionError` (broken/reset pipes, and
+    :class:`~repro.serve.faults.InjectedFault` subclasses it on purpose) or
+    a truncated stream (:class:`EOFError`).  Everything else — including
+    :class:`~repro.serve.executor.RemoteJobError`, which carries an
+    application error that happened *inside* a healthy worker — is an
+    application failure.
+    """
+    if isinstance(exc, RemoteJobError):
+        return FAILURE_APPLICATION
+    if isinstance(exc, (WorkerCrashed, ConnectionError, EOFError)):
+        return FAILURE_INFRA
+    return FAILURE_APPLICATION
+
+
+def retry_backoff(job_id: str, attempt: int, base: float, cap: float) -> float:
+    """Backoff before retry number ``attempt`` — capped exponential, jittered.
+
+    The jitter is **deterministic** (hash of ``(job_id, attempt)``, mapped
+    into ``[0.5, 1.0)`` of the exponential envelope): storms decorrelate
+    like with random jitter, but a seeded chaos run replays the exact same
+    waits.
+    """
+    envelope = min(cap, base * (2 ** max(0, attempt - 1)))
+    digest = hashlib.sha256(f"{job_id}:{attempt}".encode("ascii")).digest()
+    jitter = int.from_bytes(digest[:8], "big") / float(1 << 64)
+    return envelope * (0.5 + 0.5 * jitter)
 
 
 class QueueFull(RuntimeError):
-    """Raised when a submission exceeds the queue's backpressure bound."""
+    """Raised when a submission exceeds the queue's backpressure bound.
+
+    ``retry_after`` is the queue's backoff hint in whole seconds (what the
+    HTTP frontend sends as ``Retry-After``), derived from the current queue
+    depth: roughly how long until a worker has chewed through the backlog.
+    """
+
+    def __init__(self, message: str, retry_after: int | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class QueueClosed(RuntimeError):
@@ -78,11 +130,16 @@ class Job:
         "status",
         "result",
         "error",
+        "attempts",
+        "failure_class",
+        "deadline_ms",
         "submitted_at",
         "started_at",
         "finished_at",
         "_task",
         "_deadline",
+        "_exec_deadline",
+        "_slot",
         "_done_event",
     )
 
@@ -93,6 +150,7 @@ class Job:
         task: Any,
         kind: str = "",
         timeout: float | None = None,
+        deadline_ms: int | None = None,
     ) -> None:
         self.job_id = job_id
         self.tenant = tenant
@@ -100,11 +158,21 @@ class Job:
         self.status = QUEUED
         self.result: Any = None
         self.error: str | None = None
+        self.attempts = 0
+        self.failure_class: str | None = None
+        self.deadline_ms = deadline_ms
         self.submitted_at = time.time()
         self.started_at: float | None = None
         self.finished_at: float | None = None
         self._task: Any = task
         self._deadline = None if timeout is None else time.monotonic() + timeout
+        # The end-to-end deadline (queue wait AND execution), enforced by
+        # the queue's watchdog; the legacy ``timeout`` above only bounds the
+        # queue wait (and cancels, rather than deadline-exceeds, the job).
+        self._exec_deadline = (
+            None if deadline_ms is None else time.monotonic() + deadline_ms / 1000.0
+        )
+        self._slot: int | None = None
         self._done_event = threading.Event()
 
     @property
@@ -145,6 +213,20 @@ class JobQueue:
         jobs (default: a fresh :class:`ThreadExecutor` — the in-process
         behaviour).  The queue owns its executor's lifecycle: ``start`` is
         called here, ``close`` inside :meth:`close`.
+    max_attempts:
+        Execution attempts per job.  *Infra* failures (see
+        :func:`classify_failure`) are retried with capped exponential
+        backoff and deterministic jitter until this many attempts were made;
+        *application* failures fail immediately.  The default of ``1``
+        keeps the queue's historical fail-fast behaviour — the serving
+        layer turns retries on via :class:`~repro.config.ServeConfig`.
+    retry_backoff_base / retry_backoff_cap:
+        The backoff envelope in seconds: attempt *n* waits
+        ``min(cap, base * 2**(n-1))``, deterministically jittered into the
+        upper half of the envelope (see :func:`retry_backoff`).
+    faults:
+        Optional :class:`~repro.serve.faults.FaultPlan`; when set, every
+        execution attempt passes the ``queue.execute`` injection site.
     """
 
     def __init__(
@@ -155,6 +237,10 @@ class JobQueue:
         default_timeout: float | None = None,
         max_finished_retained: int = 1024,
         executor: WorkerExecutor | None = None,
+        max_attempts: int = 1,
+        retry_backoff_base: float = 0.05,
+        retry_backoff_cap: float = 2.0,
+        faults: FaultPlan | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be at least 1, got {workers}")
@@ -164,19 +250,30 @@ class JobQueue:
             raise ValueError(
                 f"max_inflight_per_tenant must be at least 1, got {max_inflight_per_tenant}"
             )
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be at least 1, got {max_attempts}")
+        if retry_backoff_base < 0 or retry_backoff_cap < 0:
+            raise ValueError("retry backoff base/cap must be non-negative")
         self.workers = workers
         self.max_queue = max_queue
         self.max_inflight_per_tenant = max_inflight_per_tenant
         self.default_timeout = default_timeout
         self.max_finished_retained = max_finished_retained
+        self.max_attempts = max_attempts
+        self.retry_backoff_base = retry_backoff_base
+        self.retry_backoff_cap = retry_backoff_cap
+        self.faults = faults
         self._lock = threading.Lock()
         self._work_ready = threading.Condition(self._lock)
+        self._watch_ready = threading.Condition(self._lock)
         self._pending: list[Job] = []
         self._jobs: dict[str, Job] = {}
         self._finished_order: list[str] = []
         self._inflight: dict[str, int] = {}
+        self._watched: list[Job] = []
         self._ids = itertools.count(1)
         self._closed = False
+        self._closing = threading.Event()
         self._counters = {
             "submitted": 0,
             "rejected": 0,
@@ -184,6 +281,8 @@ class JobQueue:
             "failed": 0,
             "cancelled": 0,
             "expired": 0,
+            "retries": 0,
+            "deadline_exceeded": 0,
         }
         self.executor = executor if executor is not None else ThreadExecutor()
         # Execution slots are allocated before any worker thread exists, so
@@ -200,6 +299,12 @@ class JobQueue:
         ]
         for thread in self._threads:
             thread.start()
+        # The deadline watchdog sleeps until the earliest registered
+        # deadline; it costs nothing while no job carries a deadline.
+        self._watchdog = threading.Thread(
+            target=self._watchdog_loop, name="repro-serve-watchdog", daemon=True
+        )
+        self._watchdog.start()
 
     # -- submission and lookup -------------------------------------------------
     def submit(
@@ -208,27 +313,58 @@ class JobQueue:
         task: "Callable[[], Any] | Any",
         kind: str = "",
         timeout: float | None = None,
+        deadline_ms: int | None = None,
     ) -> Job:
         """Enqueue ``task`` for ``tenant``; raises :class:`QueueFull`/:class:`QueueClosed`.
 
         What a valid ``task`` is depends on the queue's executor: callables
         for the thread executor, job payloads or picklable callables for the
-        process executor.
+        process executor.  ``deadline_ms`` is an end-to-end deadline
+        covering queue wait *and* execution: a job that overruns it becomes
+        ``deadline_exceeded`` (the watchdog kills+respawns an overrunning
+        process worker; thread-executor jobs finish cooperatively and their
+        result is discarded).
         """
         if timeout is None:
             timeout = self.default_timeout
+        if deadline_ms is not None and deadline_ms < 1:
+            raise ValueError(f"deadline_ms must be a positive integer, got {deadline_ms}")
         with self._lock:
             if self._closed:
                 raise QueueClosed("the job queue has been closed")
-            if len(self._pending) >= self.max_queue:
+            depth = len(self._pending)
+            if depth >= self.max_queue:
                 self._counters["rejected"] += 1
-                raise QueueFull(f"job queue is full ({self.max_queue} jobs waiting); retry later")
-            job = Job(f"job-{next(self._ids):08d}", tenant, task, kind=kind, timeout=timeout)
+                raise QueueFull(
+                    f"job queue is full ({self.max_queue} jobs waiting); retry later",
+                    retry_after=self._retry_after_locked(depth),
+                )
+            job = Job(
+                f"job-{next(self._ids):08d}",
+                tenant,
+                task,
+                kind=kind,
+                timeout=timeout,
+                deadline_ms=deadline_ms,
+            )
             self._jobs[job.job_id] = job
             self._pending.append(job)
             self._counters["submitted"] += 1
             self._work_ready.notify()
+            if deadline_ms is not None:
+                self._watched.append(job)
+                self._watch_ready.notify()
             return job
+
+    def _retry_after_locked(self, depth: int) -> int:
+        """The backpressure hint in whole seconds, derived from queue depth.
+
+        A full queue of ``depth`` jobs spread over ``workers`` workers needs
+        roughly ``depth / workers`` job-durations to drain; with sub-second
+        jobs the hint is deliberately pessimistic (clamped to [1, 60]) — a
+        client retrying after it will almost always get a slot.
+        """
+        return max(1, min(60, math.ceil(depth / self.workers)))
 
     def get(self, job_id: str) -> Job:
         """The job with ``job_id``; raises :class:`KeyError` when unknown/expired."""
@@ -265,10 +401,17 @@ class JobQueue:
                     self._finish_locked(job, CANCELLED, error="queue closed")
                     self._counters["cancelled"] += 1
             self._work_ready.notify_all()
+            self._watch_ready.notify_all()
+        # Workers backing off before a retry abort the wait immediately and
+        # fail their job instead of stretching the drain.
+        self._closing.set()
         for thread in self._threads:
             thread.join(timeout)
         if not already_closed:
             self.executor.close(timeout)
+        # The watchdog (a daemon) exits on its own once every watched job is
+        # terminal; it is deliberately not joined — a still-running
+        # deadline job must stay enforceable during the drain itself.
 
     def __enter__(self) -> "JobQueue":
         return self
@@ -279,14 +422,18 @@ class JobQueue:
     def stats(self) -> dict[str, Any]:
         """Submission/outcome counters plus current queue depth and running count."""
         with self._lock:
-            return {
+            payload = {
                 **self._counters,
                 "queued": len(self._pending),
                 "running": sum(self._inflight.values()),
                 "workers": self.workers,
                 "max_queue": self.max_queue,
+                "max_attempts": self.max_attempts,
                 "executor": self.executor.name,
             }
+        if self.faults is not None:
+            payload["faults"] = self.faults.stats()
+        return payload
 
     # -- worker internals ----------------------------------------------------
     def _finish_locked(self, job: Job, status: str, error: str | None = None) -> None:
@@ -312,6 +459,15 @@ class JobQueue:
         for job in self._pending:
             if chosen is not None:
                 kept.append(job)
+            elif job._exec_deadline is not None and job._exec_deadline < now:
+                # The watchdog usually beats this check; it exists so a
+                # worker scanning first never claims an already-dead job.
+                self._finish_locked(
+                    job,
+                    DEADLINE_EXCEEDED,
+                    error=f"deadline of {job.deadline_ms} ms exceeded while queued",
+                )
+                self._counters["deadline_exceeded"] += 1
             elif job._deadline is not None and job._deadline < now:
                 self._finish_locked(job, CANCELLED, error="timed out waiting in queue")
                 self._counters["expired"] += 1
@@ -321,6 +477,62 @@ class JobQueue:
                 chosen = job
         self._pending = kept
         return chosen
+
+    def _retry_allowed_locked(self, job: Job) -> bool:
+        """Whether an infra failure of ``job`` may be retried right now."""
+        if job.attempts >= self.max_attempts:
+            return False
+        if job.status in _TERMINAL:
+            # The watchdog already deadline-exceeded the job; the failure
+            # was most likely our own kill of its overrunning worker.
+            return False
+        if self._closed:
+            # Draining: a retry (plus its backoff) would stretch the drain.
+            return False
+        if job._exec_deadline is not None and time.monotonic() >= job._exec_deadline:
+            return False
+        return True
+
+    def _execute_with_retries(self, slot: int, job: Job, task: Any) -> tuple[str, Any, str | None]:
+        """Run one claimed job, retrying infra failures; returns (outcome, result, error)."""
+        faults = self.faults
+        while True:
+            job.attempts += 1
+            try:
+                if faults is not None:
+                    faults.fire(SITE_QUEUE_EXECUTE)
+                result = self.executor.execute(slot, task)
+            except RemoteJobError as exc:
+                # The child already rendered "ExcType: message" — reuse it so
+                # failure diagnostics are identical across executors.
+                job.failure_class = FAILURE_APPLICATION
+                return FAILED, None, str(exc)
+            except Exception as exc:  # noqa: BLE001 - job errors become payloads
+                job.failure_class = classify_failure(exc)
+                error = f"{type(exc).__name__}: {exc}"
+                if job.failure_class != FAILURE_INFRA:
+                    return FAILED, None, error
+                with self._lock:
+                    retry = self._retry_allowed_locked(job)
+                    if retry:
+                        self._counters["retries"] += 1
+                if not retry:
+                    return FAILED, None, error
+                delay = retry_backoff(
+                    job.job_id, job.attempts, self.retry_backoff_base, self.retry_backoff_cap
+                )
+                if job._exec_deadline is not None:
+                    delay = min(delay, max(0.0, job._exec_deadline - time.monotonic()))
+                if self._closing.wait(delay):
+                    # The queue started draining mid-backoff: give up now
+                    # instead of holding the drain hostage to the backoff.
+                    return FAILED, None, f"{error} (retry abandoned: queue closing)"
+                if job.status in _TERMINAL:
+                    # The deadline fired during the backoff; nothing to do.
+                    return FAILED, None, error
+            else:
+                job.failure_class = None
+                return DONE, result, None
 
     def _worker_loop(self, slot: int) -> None:
         while True:
@@ -333,22 +545,17 @@ class JobQueue:
                     job = self._pop_eligible_locked()
                 job.status = RUNNING
                 job.started_at = time.time()
+                job._slot = slot
                 self._inflight[job.tenant] = self._inflight.get(job.tenant, 0) + 1
                 task = job._task
-            try:
-                result = self.executor.execute(slot, task)
-            except RemoteJobError as exc:
-                # The child already rendered "ExcType: message" — reuse it so
-                # failure diagnostics are identical across executors.
-                outcome, result, error = FAILED, None, str(exc)
-            except Exception as exc:  # noqa: BLE001 - job errors become payloads
-                outcome, result, error = FAILED, None, f"{type(exc).__name__}: {exc}"
-            else:
-                outcome, error = DONE, None
+            outcome, result, error = self._execute_with_retries(slot, job, task)
             with self._work_ready:
-                job.result = result
-                self._finish_locked(job, outcome, error=error)
-                self._counters["done" if outcome == DONE else "failed"] += 1
+                if job.status not in _TERMINAL:
+                    job.result = result
+                    self._finish_locked(job, outcome, error=error)
+                    self._counters["done" if outcome == DONE else "failed"] += 1
+                # else: the watchdog deadline-exceeded the job while it ran —
+                # its (late) result is discarded, only the slot is released.
                 count = self._inflight.get(job.tenant, 0) - 1
                 if count > 0:
                     self._inflight[job.tenant] = count
@@ -357,3 +564,61 @@ class JobQueue:
                 # A freed tenant slot (or the finished job itself) may make a
                 # previously skipped job eligible: wake every waiting worker.
                 self._work_ready.notify_all()
+                if job._exec_deadline is not None:
+                    self._watch_ready.notify_all()
+
+    # -- the deadline watchdog ------------------------------------------------
+    def _watchdog_loop(self) -> None:
+        """Enforce end-to-end deadlines on every job submitted with one.
+
+        Sleeps until the earliest registered deadline, then finishes every
+        overdue job as ``deadline_exceeded``: still-queued jobs are pulled
+        from the queue, running jobs have their waiters released immediately
+        and — under the process executor — their worker SIGKILLed (the slot
+        reaps and respawns; the queue thread discards the crash).  Under the
+        thread executor the overrunning callable cannot be preempted: it
+        completes cooperatively and its result is discarded.
+        """
+        while True:
+            kills: list[int] = []
+            with self._watch_ready:
+                now = time.monotonic()
+                next_deadline: float | None = None
+                still_watched: list[Job] = []
+                overdue: list[Job] = []
+                for job in self._watched:
+                    if job.status in _TERMINAL:
+                        continue
+                    if job._exec_deadline <= now:
+                        overdue.append(job)
+                    else:
+                        still_watched.append(job)
+                        if next_deadline is None or job._exec_deadline < next_deadline:
+                            next_deadline = job._exec_deadline
+                self._watched = still_watched
+                for job in overdue:
+                    if job.status == QUEUED:
+                        if job in self._pending:
+                            self._pending.remove(job)
+                        phase = "while queued"
+                    else:
+                        phase = "during execution"
+                        if job._slot is not None:
+                            kills.append(job._slot)
+                    self._finish_locked(
+                        job,
+                        DEADLINE_EXCEEDED,
+                        error=f"deadline of {job.deadline_ms} ms exceeded {phase}",
+                    )
+                    self._counters["deadline_exceeded"] += 1
+                if overdue:
+                    self._work_ready.notify_all()
+                if not kills:
+                    if self._closed and not self._watched:
+                        return
+                    timeout = None if next_deadline is None else max(0.0, next_deadline - now)
+                    self._watch_ready.wait(timeout)
+            for slot in kills:
+                # Outside the lock: the kill is what unblocks the queue
+                # thread currently holding the slot (its recv fails).
+                self.executor.kill_slot(slot)

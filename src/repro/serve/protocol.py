@@ -14,7 +14,9 @@ Schemas
     relation payload (``{"name", "attributes", "rows"}``); ``params`` are
     the verb's keyword arguments; ``overrides`` are per-call
     :class:`~repro.config.EngineConfig` field overrides layered on top of
-    the tenant's configuration.
+    the tenant's configuration.  An optional ``deadline_ms`` (positive
+    integer) bounds the job end-to-end — queue wait plus execution — and
+    an overrun yields the ``deadline_exceeded`` terminal status.
 ``repro/job-ticket-v1``
     The submission acknowledgement: ``{"schema", "job_id", "tenant",
     "status"}``.
@@ -160,10 +162,16 @@ class JobRequest:
     relation: Relation
     params: dict[str, Any] = field(default_factory=dict)
     overrides: dict[str, Any] = field(default_factory=dict)
+    deadline_ms: int | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.tenant, str) or not self.tenant:
             raise ProtocolError("tenant must be a non-empty string")
+        if self.deadline_ms is not None:
+            if isinstance(self.deadline_ms, bool) or not isinstance(self.deadline_ms, int):
+                raise ProtocolError("deadline_ms must be a positive integer or null")
+            if self.deadline_ms < 1:
+                raise ProtocolError(f"deadline_ms must be at least 1, got {self.deadline_ms}")
         if self.kind not in REQUEST_KINDS:
             raise ProtocolError(
                 f"unknown request kind {self.kind!r}: expected one of {REQUEST_KINDS}"
@@ -196,7 +204,7 @@ class JobRequest:
             raise ProtocolError(
                 f"not a job request payload (schema={schema!r}, expected {JOB_REQUEST_SCHEMA!r})"
             )
-        known = {"schema", "tenant", "kind", "relation", "params", "overrides"}
+        known = {"schema", "tenant", "kind", "relation", "params", "overrides", "deadline_ms"}
         unknown = set(payload) - known
         if unknown:
             raise ProtocolError(f"unknown job request fields: {sorted(unknown)}")
@@ -206,11 +214,12 @@ class JobRequest:
             relation=relation_from_payload(payload.get("relation")),
             params=_require_mapping(payload.get("params"), "params"),
             overrides=_require_mapping(payload.get("overrides"), "overrides"),
+            deadline_ms=payload.get("deadline_ms"),
         )
 
     def to_payload(self) -> dict[str, Any]:
         """The canonical ``repro/job-request-v1`` payload of this request."""
-        return {
+        payload = {
             "schema": JOB_REQUEST_SCHEMA,
             "tenant": self.tenant,
             "kind": self.kind,
@@ -218,6 +227,11 @@ class JobRequest:
             "params": dict(self.params),
             "overrides": dict(self.overrides),
         }
+        if self.deadline_ms is not None:
+            # Additive v1 field: omitted when unset so payloads from callers
+            # that never set a deadline are byte-identical to pre-deadline ones.
+            payload["deadline_ms"] = self.deadline_ms
+        return payload
 
 
 @dataclass(frozen=True)

@@ -12,10 +12,11 @@ concurrency bound is the job queue's worker pool):
 
 ====== =================== ==========================================
 POST   ``/jobs``           submit a job request → 202 ticket, 429 full
+                           (with a ``Retry-After`` hint)
 GET    ``/jobs/<id>``      poll → 200 status payload, 404 unknown
 DELETE ``/jobs/<id>``      cancel a queued job → 200 ``{"cancelled": ...}``
-GET    ``/healthz``        liveness → 200 ``{"status": "ok"}``
-GET    ``/stats``          queue + pool counters
+GET    ``/healthz``        executor liveness → 200 healthy, 503 degraded
+GET    ``/stats``          queue + pool + executor counters
 ====== =================== ==========================================
 """
 
@@ -29,6 +30,7 @@ from typing import Any, Mapping
 from ..config import ConfigError, EngineConfig, ServeConfig
 from ..session import RunResult
 from .executor import WorkerExecutor, make_executor
+from .faults import FaultPlan
 from .jobs import DONE, Job, JobQueue, QueueClosed, QueueFull
 from .pool import SessionPool
 from .protocol import (
@@ -56,7 +58,17 @@ class Server:
     to resolve the :class:`~repro.config.ServeConfig` environment defaults
     (``REPRO_SERVE_EXECUTOR`` etc.).  Served artefacts are byte-identical
     across executors (pinned by tests).  ``workers``/``warmup``/
-    ``start_method`` left as ``None`` resolve from the environment likewise.
+    ``start_method`` and the fault-tolerance knobs left as ``None`` resolve
+    from the environment likewise.
+
+    Fault tolerance: ``max_attempts`` retries *infra* failures (killed
+    workers, broken pipes) with capped exponential backoff — application
+    failures never retry; ``restart_budget``/``restart_window`` bound
+    process-worker respawns before the executor reports itself degraded
+    (``degraded_fallback=True`` then runs jobs inline instead);
+    ``drain_deadline`` bounds :meth:`close`; ``faults`` (a spec string or a
+    ready :class:`~repro.serve.faults.FaultPlan`) arms deterministic fault
+    injection for chaos testing.
 
     Usable as a context manager; :meth:`close` cancels queued jobs, waits
     for running ones (terminating process workers that overrun the drain
@@ -74,20 +86,45 @@ class Server:
         executor: "str | WorkerExecutor | None" = None,
         warmup: bool | None = None,
         start_method: str | None = None,
+        max_attempts: int | None = None,
+        restart_budget: int | None = None,
+        restart_window: float | None = None,
+        degraded_fallback: bool | None = None,
+        drain_deadline: float | None = None,
+        faults: "str | FaultPlan | None" = None,
     ) -> None:
-        if workers is None or executor is None or warmup is None or start_method is None:
+        explicit = {
+            "workers": workers,
+            "executor": executor,
+            "warmup": warmup,
+            "start_method": start_method,
+            "max_attempts": max_attempts,
+            "restart_budget": restart_budget,
+            "restart_window": restart_window,
+            "degraded_fallback": degraded_fallback,
+            "drain_deadline": drain_deadline,
+            "faults": faults,
+        }
+        missing = [name for name, value in explicit.items() if value is None]
+        if missing:
             # Only consult the environment for parameters actually left to
             # default: a fully explicit Server must not fail on (or vary
             # with) unrelated REPRO_SERVE_* values.
-            serve_config = ServeConfig.from_env()
-            if workers is None:
-                workers = serve_config.workers
-            if executor is None:
-                executor = serve_config.executor
-            if warmup is None:
-                warmup = serve_config.warmup
-            if start_method is None:
-                start_method = serve_config.start_method
+            resolved = ServeConfig.from_env_fields(missing)
+            workers = resolved.get("workers", workers)
+            executor = resolved.get("executor", executor)
+            warmup = resolved.get("warmup", warmup)
+            start_method = resolved.get("start_method", start_method)
+            max_attempts = resolved.get("max_attempts", max_attempts)
+            restart_budget = resolved.get("restart_budget", restart_budget)
+            restart_window = resolved.get("restart_window", restart_window)
+            degraded_fallback = resolved.get("degraded_fallback", degraded_fallback)
+            drain_deadline = resolved.get("drain_deadline", drain_deadline)
+            faults = resolved.get("faults", faults)
+        # One shared plan: executor sites and queue sites count arrivals on
+        # the same seeded counters, so a storm spec replays identically.
+        plan = faults if isinstance(faults, FaultPlan) else FaultPlan.from_spec(faults)
+        self.drain_deadline = drain_deadline
         self.pool = SessionPool(tenant_configs, max_sessions=max_sessions)
         if isinstance(executor, str):
             executor = make_executor(
@@ -95,6 +132,10 @@ class Server:
                 tenant_configs_payload=self.pool.configs_payload(),
                 start_method=start_method,
                 warmup=warmup,
+                restart_budget=restart_budget,
+                restart_window=restart_window,
+                fallback=bool(degraded_fallback),
+                faults=plan,
             )
         self.executor = executor
         self.queue = JobQueue(
@@ -103,6 +144,8 @@ class Server:
             max_inflight_per_tenant=max_inflight_per_tenant,
             default_timeout=default_timeout,
             executor=executor,
+            max_attempts=max_attempts,
+            faults=plan,
         )
 
     # -- the four verbs --------------------------------------------------------
@@ -130,7 +173,9 @@ class Server:
 
             task = run
 
-        job = self.queue.submit(request.tenant, task, kind=request.kind)
+        job = self.queue.submit(
+            request.tenant, task, kind=request.kind, deadline_ms=request.deadline_ms
+        )
         return JobTicket(job_id=job.job_id, tenant=job.tenant, status=job.status)
 
     def status(self, job_id: str) -> dict[str, Any]:
@@ -163,9 +208,26 @@ class Server:
             "executor": self.executor.stats(),
         }
 
+    def health(self) -> dict[str, Any]:
+        """The ``GET /healthz`` payload: real executor liveness.
+
+        ``status`` is ``"ok"`` or ``"degraded"`` (the respawn budget was
+        exhausted inside its rolling window — the HTTP surface maps this to
+        503); ``executor`` carries the live worker table (pids/alive flags
+        for process workers), respawn counts and the supervisor snapshot.
+        """
+        executor = self.executor.stats()
+        degraded = bool(executor.get("degraded", False))
+        return {
+            "status": "degraded" if degraded else "ok",
+            "degraded": degraded,
+            "executor": executor,
+        }
+
     def close(self) -> None:
-        """Shut the queue down and close every pooled session."""
-        self.queue.close()
+        """Drain the queue (bounded by ``drain_deadline``) and close every
+        pooled session."""
+        self.queue.close(timeout=self.drain_deadline)
         self.pool.close()
 
     def __enter__(self) -> "Server":
@@ -187,6 +249,9 @@ def _job_payload(job: Job) -> dict[str, Any]:
         "started_at": job.started_at,
         "finished_at": job.finished_at,
         "error": job.error,
+        "attempts": job.attempts,
+        "failure_class": job.failure_class,
+        "deadline_ms": job.deadline_ms,
         "result": None,
     }
     if job.status == DONE and isinstance(job.result, RunResult):
@@ -212,11 +277,19 @@ class _ServeHandler(BaseHTTPRequestHandler):
         if getattr(self.server, "verbose", False):  # pragma: no cover - CLI only
             super().log_message(format, *args)
 
-    def _send_json(self, code: int, payload: Mapping[str, Any], close: bool = False) -> None:
+    def _send_json(
+        self,
+        code: int,
+        payload: Mapping[str, Any],
+        close: bool = False,
+        retry_after: int | None = None,
+    ) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(retry_after))
         if close:
             # Early-exit errors that leave the request body unread must drop
             # the connection: on HTTP/1.1 keep-alive the unread bytes would
@@ -226,8 +299,13 @@ class _ServeHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _error(self, code: int, message: str, close: bool = False) -> None:
-        self._send_json(code, {"error": message}, close=close)
+    def _error(
+        self, code: int, message: str, close: bool = False, retry_after: int | None = None
+    ) -> None:
+        payload: dict[str, Any] = {"error": message}
+        if retry_after is not None:
+            payload["retry_after"] = retry_after
+        self._send_json(code, payload, close=close, retry_after=retry_after)
 
     def _job_id(self) -> str | None:
         parts = self.path.rstrip("/").split("/")
@@ -258,7 +336,9 @@ class _ServeHandler(BaseHTTPRequestHandler):
         except (ProtocolError, ConfigError) as exc:
             self._error(400, str(exc))
         except QueueFull as exc:
-            self._error(429, str(exc))
+            # Retry-After is the queue's own depth-derived hint: how many
+            # seconds of backlog each worker would need to clear a slot.
+            self._error(429, str(exc), retry_after=exc.retry_after)
         except QueueClosed as exc:
             self._error(503, str(exc))
         else:
@@ -267,7 +347,8 @@ class _ServeHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         path = self.path.rstrip("/") or "/"
         if path == "/healthz":
-            self._send_json(200, {"status": "ok"})
+            payload = self.app.health()
+            self._send_json(503 if payload["degraded"] else 200, payload)
             return
         if path == "/stats":
             self._send_json(200, self.app.stats())

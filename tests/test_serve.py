@@ -213,6 +213,57 @@ class TestSessionPool:
         with pytest.raises(ValueError):
             SessionPool().get("")
 
+    def test_lru_eviction_races_concurrent_submissions_for_one_tenant(self):
+        """Eviction is claimed always-safe: it only drops the pool's cache
+        reference, so a session handed out before its eviction keeps
+        working and every result stays byte-identical.  Pin that under
+        threads: submitters hammer one hot tenant while a churn thread
+        forces constant LRU turnover of a 2-slot pool."""
+        pool = SessionPool(max_sessions=2)
+        relation = make_relation(n_rows=24)
+        expected = Session().discover(make_relation(n_rows=24), algorithm="tane").payload
+        stop = threading.Event()
+        errors: list[BaseException] = []
+        payloads: list[dict] = []
+        lock = threading.Lock()
+
+        def submitter():
+            try:
+                while not stop.is_set():
+                    result = pool.get("hot").discover(relation, algorithm="tane")
+                    with lock:
+                        payloads.append(result.payload)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        def churner():
+            try:
+                i = 0
+                while not stop.is_set():
+                    # Two fresh tenants per lap: "hot" is always the LRU
+                    # loser, so submitters constantly race its eviction.
+                    pool.get(f"cold-{i % 8}")
+                    i += 1
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=submitter) for _ in range(4)]
+        threads.append(threading.Thread(target=churner))
+        for thread in threads:
+            thread.start()
+        time.sleep(1.0)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=WAIT)
+            assert not thread.is_alive()
+        assert errors == []
+        assert len(payloads) > 0
+        for payload in payloads:
+            assert payload["artifacts"] == expected["artifacts"]
+        stats = pool.stats()
+        assert stats["evicted"] > 0, "the race never actually evicted"
+        assert len(pool) <= 2
+
 
 class TestJobQueue:
     def test_job_runs_to_done(self):
@@ -244,9 +295,12 @@ class TestJobQueue:
             assert started.wait(WAIT)  # worker busy; queue now empty
             queue.submit("acme", lambda: None)
             queue.submit("acme", lambda: None)
-            with pytest.raises(QueueFull):
+            with pytest.raises(QueueFull) as excinfo:
                 queue.submit("acme", lambda: None)
             assert queue.stats()["rejected"] == 1
+            # The programmatic backpressure hint: seconds of backlog per
+            # worker, never zero (clients must actually back off).
+            assert excinfo.value.retry_after >= 1
         finally:
             gate.set()
             queue.close()
@@ -517,7 +571,10 @@ class TestHttpFrontend:
 
     def test_health_stats_and_errors(self, frontend):
         host, port = frontend.address
-        assert _http(host, port, "GET", "/healthz") == (200, {"status": "ok"})
+        status, health = _http(host, port, "GET", "/healthz")
+        assert status == 200
+        assert health["status"] == "ok" and health["degraded"] is False
+        assert health["executor"]["executor"] in ("thread", "process")
         status, stats = _http(host, port, "GET", "/stats")
         assert status == 200 and "queue" in stats and "pool" in stats
         assert _http(host, port, "GET", "/jobs/job-unknown")[0] == 404
@@ -577,9 +634,23 @@ class TestHttpFrontend:
                 assert time.monotonic() < deadline
                 time.sleep(0.01)
             assert _http(host, port, "POST", "/jobs", payload)[0] == 202
-            status, body = _http(host, port, "POST", "/jobs", payload)
-            assert status == 429
-            assert "full" in body["error"]
+            conn = http.client.HTTPConnection(host, port, timeout=WAIT)
+            try:
+                body = json.dumps(payload)
+                conn.request(
+                    "POST", "/jobs", body=body, headers={"Content-Type": "application/json"}
+                )
+                response = conn.getresponse()
+                rejected = json.loads(response.read())
+            finally:
+                conn.close()
+            assert response.status == 429
+            assert "full" in rejected["error"]
+            # The backpressure hint: depth-derived, in the header (for
+            # standard HTTP clients) and the body (for programmatic ones).
+            retry_after = response.getheader("Retry-After")
+            assert retry_after is not None and int(retry_after) >= 1
+            assert rejected["retry_after"] == int(retry_after)
         finally:
             gate.set()
             frontend.stop()
