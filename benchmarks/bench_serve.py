@@ -27,6 +27,11 @@ throughput, minus the wire cost of shipping each relation to a worker
 process.  Worker processes are warmed up before timing starts, so spawn
 cost is not measured.
 
+A registry-backed leg rides along: one shared relation submitted
+``jobs_per_tenant`` times, inline versus ``PUT /relations`` once and
+``relation_ref`` thereafter, recording wall seconds and submitted payload
+bytes for both modes (the ``registry`` key of the merged run).
+
 Scale comes from ``REPRO_BENCH_SCALE`` (``tiny``/``small``/``medium``/
 ``large`` or an explicit row count).
 """
@@ -39,6 +44,7 @@ import os
 import random
 import statistics
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -159,6 +165,77 @@ def bench_workers(
     }
 
 
+def bench_registry(executor: str, workers: int, n_rows: int, jobs: int) -> dict:
+    """The registry-backed leg: one shared relation, ``jobs`` submissions.
+
+    Compares shipping the relation inline with every request against
+    ``PUT /relations`` once and submitting by ``relation_ref`` — the
+    hot-relation serving mix the content-addressed registry exists for.
+    Records wall seconds and the submitted payload bytes of both modes
+    (the byte ratio is deterministic; the wall-clock gap grows with
+    relation size and, for the process executor, with the per-job decode
+    the inline path pays in each worker).
+    """
+    relation = build_relation("shared", n_rows, seed=1234)
+    mix = [JOB_MIX[index % len(JOB_MIX)] for index in range(jobs)]
+    timings: dict[str, dict] = {}
+    for mode in ("inline", "relation_ref"):
+        with tempfile.TemporaryDirectory(prefix="repro-bench-registry-") as root:
+            with Server(
+                workers=workers,
+                max_queue=jobs,
+                max_inflight_per_tenant=workers,
+                executor=executor,
+                warmup=True,
+                registry=root,
+            ) as server:
+                content_hash = server.put_relation(relation)["hash"]
+                payload_bytes = 0
+                started = time.perf_counter()
+                tickets = []
+                for kind, params in mix:
+                    request = {
+                        "schema": "repro/job-request-v1",
+                        "tenant": "bench",
+                        "kind": kind,
+                        "params": dict(params),
+                        "overrides": {},
+                    }
+                    if mode == "inline":
+                        request["relation"] = {
+                            "name": relation.name,
+                            "attributes": list(relation.attribute_names),
+                            "rows": [list(row) for row in relation.rows],
+                        }
+                    else:
+                        request["relation_ref"] = content_hash
+                    payload_bytes += len(json.dumps(request).encode("utf-8"))
+                    tickets.append(server.submit(request))
+                jobs_list = [server.queue.get(ticket.job_id) for ticket in tickets]
+                for job in jobs_list:
+                    if not job.wait(600):
+                        raise SystemExit(f"registry bench job {job.job_id} did not finish")
+                    if job.status != "done":
+                        raise SystemExit(f"registry bench job failed: {job.error}")
+                elapsed = time.perf_counter() - started
+        timings[mode] = {
+            "wall_seconds": round(elapsed, 6),
+            "payload_bytes": payload_bytes,
+            "throughput_jobs_per_s": round(jobs / elapsed, 3),
+        }
+    inline, by_ref = timings["inline"], timings["relation_ref"]
+    return {
+        "executor": executor,
+        "workers": workers,
+        "jobs": jobs,
+        "n_rows": n_rows,
+        "inline": inline,
+        "relation_ref": by_ref,
+        "payload_bytes_saved": inline["payload_bytes"] - by_ref["payload_bytes"],
+        "speedup_vs_inline": round(inline["wall_seconds"] / by_ref["wall_seconds"], 3),
+    }
+
+
 def bench_bare_baseline(requests_by_tenant: dict[str, list[JobRequest]]) -> float:
     """Sequential bare-session execution of the same mix (no serving layer)."""
     from repro.serve import execute_request
@@ -211,6 +288,11 @@ def main(argv: list[str] | None = None) -> None:
         for executor in args.executors
         for workers in args.workers
     ]
+    registry_workers = min(2, max(args.workers))
+    registry_legs = [
+        bench_registry(executor, registry_workers, n_rows, jobs=args.jobs_per_tenant)
+        for executor in args.executors
+    ]
     headlines = {
         executor: max(
             entry["throughput_jobs_per_s"]
@@ -233,6 +315,7 @@ def main(argv: list[str] | None = None) -> None:
             "start_method": ServeConfig.from_env().start_method,
         },
         "sweep": sweeps,
+        "registry": registry_legs,
         "headline_by_executor": headlines,
         "headline_throughput_jobs_per_s": max(headlines.values()),
     }
@@ -262,6 +345,16 @@ def main(argv: list[str] | None = None) -> None:
             f"throughput={sweep['throughput_jobs_per_s']:8.1f} jobs/s  "
             f"p50={sweep['latency_p50_s'] * 1000:7.1f} ms  "
             f"p95={sweep['latency_p95_s'] * 1000:7.1f} ms"
+        )
+    for leg in registry_legs:
+        saved = leg["payload_bytes_saved"]
+        inline_bytes = leg["inline"]["payload_bytes"]
+        print(
+            f"  registry executor={leg['executor']:<8} workers={leg['workers']:<3} "
+            f"inline={leg['inline']['wall_seconds']:.3f} s  "
+            f"by-ref={leg['relation_ref']['wall_seconds']:.3f} s "
+            f"(x{leg['speedup_vs_inline']:.2f})  "
+            f"payload saved={saved:,} B ({100.0 * saved / inline_bytes:.1f}%)"
         )
     print(f"  -> merged into {output} under label {args.label!r}")
 

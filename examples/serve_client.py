@@ -1,13 +1,21 @@
-"""Submit → poll → fetch against the multi-tenant serving endpoint.
+"""PUT once, reference many: registry-backed jobs against the endpoint.
 
 This example is fully self-contained: it boots the HTTP serving endpoint
 in-process on an ephemeral port (exactly what ``python -m repro serve``
-runs), then acts as a plain HTTP client against it — build a
-``repro/job-request-v1`` payload with an end-to-end ``deadline_ms``,
-``POST /jobs`` with client-side backoff on 429 (honouring the
-``Retry-After`` hint), poll ``GET /jobs/<id>`` until the job is terminal,
-and reconstruct the ``RunResult`` from the ``result`` field of the status
-payload.
+runs), then acts as a plain HTTP client against it —
+
+1. ``PUT /relations`` the relation once; the server stores it by content
+   hash in its crash-safe registry and returns a ``repro/relation-ref-v1``
+   acknowledgement,
+2. ``POST /jobs`` N times carrying only the 64-char ``relation_ref``
+   instead of the inline rows (with client-side backoff on 429, honouring
+   the ``Retry-After`` hint),
+3. poll ``GET /jobs/<id>`` until each job is terminal and reconstruct the
+   ``RunResult`` — byte-identical to an inline submission, stamped with a
+   provenance block tying it back to the stored relation,
+
+and finally prints how many payload bytes the by-reference jobs saved over
+shipping the rows inline with every request.
 
 Against a real deployment, drop the server-bootstrap block and point
 ``HOST``/``PORT`` at the running endpoint.
@@ -25,6 +33,8 @@ from repro.config import parse_tenant_configs  # noqa: E402
 from repro.relational.relation import Relation  # noqa: E402
 from repro.serve import HttpFrontend, Server, relation_to_payload  # noqa: E402
 from repro.session import RunResult  # noqa: E402
+
+N_JOBS = 5
 
 
 def call(host, port, method, path, body=None):
@@ -56,6 +66,18 @@ def submit_with_backoff(host, port, request, max_tries=8):
     raise SystemExit("queue stayed full; giving up")
 
 
+def wait_for(host, port, job_id, timeout=30.0):
+    """Poll GET /jobs/<id> until the job is terminal; returns the payload."""
+    deadline = time.monotonic() + timeout
+    while True:
+        _, _, body = call(host, port, "GET", f"/jobs/{job_id}")
+        if body["status"] in ("done", "failed", "cancelled", "deadline_exceeded"):
+            return body
+        if time.monotonic() > deadline:
+            raise SystemExit(f"job {job_id} did not finish in time")
+        time.sleep(0.05)
+
+
 def main():
     # -- server bootstrap (replace with a running `python -m repro serve`) ----
     tenant_configs = parse_tenant_configs({"clinic": {"backend": "auto"}})
@@ -65,58 +87,58 @@ def main():
     print(f"serving on http://{host}:{port}")
 
     try:
-        # -- build a job request ---------------------------------------------
-        relation = Relation(
-            "patient",
-            ("subject_id", "gender", "expire_flag"),
-            [
-                (249, "F", 0),
-                (250, "F", 1),
-                (251, "M", 0),
-                (252, "M", 0),
-                (250, "F", 1),
-                (249, "F", 0),
-            ],
-        )
-        request = {
-            "schema": "repro/job-request-v1",
-            "tenant": "clinic",
-            "kind": "discover",
-            "relation": relation_to_payload(relation),
-            "params": {"algorithm": "tane"},
-            "overrides": {},
-            # End-to-end deadline (queue wait + execution): past it the job
-            # turns `deadline_exceeded` instead of occupying a worker.
-            "deadline_ms": 20_000,
-        }
+        # -- store the relation once ------------------------------------------
+        rows = [(i % 40, (i % 40) * 2, i % 7, f"ward-{i % 5}") for i in range(400)]
+        relation = Relation("patient", ("subject_id", "gender", "ward", "unit"), rows)
+        relation_payload = relation_to_payload(relation)
+        status, _, ack = call(host, port, "PUT", "/relations", relation_payload)
+        print(f"PUT /relations -> {status} hash={ack['hash'][:12]}… created={ack['created']}")
 
-        # -- submit (with 429 backoff) ----------------------------------------
-        status, ticket = submit_with_backoff(host, port, request)
-        print(f"POST /jobs -> {status} ticket={ticket['job_id']} ({ticket['status']})")
+        # -- submit N jobs carrying only the content hash ----------------------
+        inline_bytes = ref_bytes = 0
+        tickets = []
+        for index in range(N_JOBS):
+            request = {
+                "schema": "repro/job-request-v1",
+                "tenant": "clinic",
+                "kind": "discover",
+                "relation_ref": ack["hash"],
+                "params": {"algorithm": "tane"},
+                "overrides": {},
+                "deadline_ms": 20_000,
+            }
+            ref_bytes += len(json.dumps(request).encode("utf-8"))
+            inline_request = dict(request)
+            del inline_request["relation_ref"]
+            inline_request["relation"] = relation_payload
+            inline_bytes += len(json.dumps(inline_request).encode("utf-8"))
+            status, ticket = submit_with_backoff(host, port, request)
+            print(f"POST /jobs [{index + 1}/{N_JOBS}] -> {status} ticket={ticket['job_id']}")
+            tickets.append(ticket)
 
-        # -- poll until terminal ----------------------------------------------
-        deadline = time.monotonic() + 30
-        while True:
-            status, _, body = call(host, port, "GET", f"/jobs/{ticket['job_id']}")
-            if body["status"] in ("done", "failed", "cancelled", "deadline_exceeded"):
-                break
-            if time.monotonic() > deadline:
-                raise SystemExit("job did not finish in time")
-            time.sleep(0.05)
+        # -- fetch the RunResults ----------------------------------------------
+        fingerprints = set()
+        for ticket in tickets:
+            body = wait_for(host, port, ticket["job_id"])
+            if body["status"] != "done":
+                raise SystemExit(f"job {ticket['job_id']} ended {body['status']}: {body['error']}")
+            result = RunResult(body["result"])
+            fingerprints.add(result.artifact_fingerprint())
+            provenance = result.provenance
+            print(
+                f"  {ticket['job_id']}: fds={len(result)} "
+                f"relation_hash={provenance['relation_hash'][:12]}… "
+                f"executor={provenance['executor']}"
+            )
+        assert len(fingerprints) == 1, "by-reference runs must be byte-identical"
+
+        # -- the payoff --------------------------------------------------------
+        saved = inline_bytes - ref_bytes
         print(
-            f"GET /jobs/{ticket['job_id']} -> {body['status']} "
-            f"(attempts={body['attempts']}, deadline_ms={body['deadline_ms']})"
+            f"payload bytes: inline x{N_JOBS} = {inline_bytes:,} B, "
+            f"by reference = {ref_bytes:,} B "
+            f"(saved {saved:,} B, {100.0 * saved / inline_bytes:.1f}%)"
         )
-        if body["status"] != "done":
-            raise SystemExit(f"job ended {body['status']}: {body['error']}")
-
-        # -- fetch the RunResult ----------------------------------------------
-        # The result field is a repro/run-result-v1 payload: byte-identical to
-        # what the same request would produce through a bare Session.
-        result = RunResult(body["result"])
-        print(f"backend={result.backend} fds={len(result)}")
-        for dependency in sorted(result.fds, key=lambda fd: str(fd)):
-            print(f"  {dependency}")
     finally:
         frontend.stop()
         server.close()

@@ -3,7 +3,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-infine",
-    version="0.4.0",
+    version="1.2.0",
     description="Reproduction of InFine (ICDE 2022): FD profiling of SPJ views",
     package_dir={"": "src"},
     packages=find_packages("src"),

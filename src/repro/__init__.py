@@ -18,6 +18,7 @@ The classic entry points (``TANE().discover``, ``InFine().run``,
 session (see :func:`repro.session.default_session`).
 """
 
+from ._version import __version__
 from .config import EngineConfig
 from .discovery import (
     FUN,
@@ -30,6 +31,13 @@ from .discovery import (
 )
 from .fd import FD, FDSet, fd
 from .infine import FDType, InFine, InFineResult, ProvenanceTriple, StraightforwardPipeline
+from .registry import (
+    IntegrityError,
+    ProvenanceError,
+    RelationRegistry,
+    relation_content_hash,
+    verify_provenance,
+)
 from .relational import (
     NULL,
     JoinKind,
@@ -55,8 +63,6 @@ from .session import (
     validate,
 )
 
-__version__ = "1.1.0"
-
 __all__ = [
     "__version__",
     "Session",
@@ -67,6 +73,11 @@ __all__ = [
     "validate",
     "profile",
     "infine",
+    "RelationRegistry",
+    "IntegrityError",
+    "ProvenanceError",
+    "relation_content_hash",
+    "verify_provenance",
     "Relation",
     "RelationSchema",
     "NULL",

@@ -1,0 +1,9 @@
+"""The package version, in a leaf module.
+
+Kept import-free so provenance stamping (``repro.registry.provenance``)
+can record the code version without touching ``repro/__init__`` — which
+imports half the package and would turn the version lookup into an import
+cycle.  ``repro.__version__`` and ``setup.py`` both read from here.
+"""
+
+__version__ = "1.2.0"

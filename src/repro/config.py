@@ -265,6 +265,12 @@ ENV_SERVE_DEGRADED_FALLBACK = "REPRO_SERVE_DEGRADED_FALLBACK"
 #: Environment variable setting the graceful-drain deadline (seconds).
 ENV_SERVE_DRAIN_DEADLINE = "REPRO_SERVE_DRAIN_DEADLINE"
 
+#: Environment variable pointing the serving layer at an on-disk relation
+#: registry root (see :class:`repro.registry.RelationRegistry`); empty/unset
+#: keeps the registry in-memory (``relation_ref`` still works, nothing
+#: survives a restart).
+ENV_REGISTRY_DIR = "REPRO_REGISTRY_DIR"
+
 #: Default serving worker count (threads or worker processes).
 DEFAULT_SERVE_WORKERS = 4
 
@@ -328,6 +334,11 @@ class ServeConfig:
     faults:
         Fault-injection plan spec (see :mod:`repro.serve.faults`), parsed by
         the serving layer; ``None``/empty disables injection (zero overhead).
+    registry_dir:
+        Root directory of the on-disk relation registry
+        (:class:`repro.registry.RelationRegistry`); ``None`` keeps the
+        server's registry in-memory — ``PUT /relations``/``relation_ref``
+        still work, but entries do not survive a restart.
     """
 
     executor: str = "thread"
@@ -340,6 +351,7 @@ class ServeConfig:
     degraded_fallback: bool = False
     drain_deadline: float = DEFAULT_SERVE_DRAIN_DEADLINE
     faults: str | None = None
+    registry_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.executor not in _EXECUTOR_CHOICES:
@@ -397,6 +409,7 @@ class ServeConfig:
                 env, ENV_SERVE_DRAIN_DEADLINE, DEFAULT_SERVE_DRAIN_DEADLINE, minimum=0.001
             ),
             faults=(env.get(ENV_SERVE_FAULTS) or "").strip() or None,
+            registry_dir=(env.get(ENV_REGISTRY_DIR) or "").strip() or None,
         )
 
     @classmethod
@@ -434,6 +447,7 @@ class ServeConfig:
                 env, ENV_SERVE_DRAIN_DEADLINE, DEFAULT_SERVE_DRAIN_DEADLINE, minimum=0.001
             ),
             "faults": lambda: (env.get(ENV_SERVE_FAULTS) or "").strip() or None,
+            "registry_dir": lambda: (env.get(ENV_REGISTRY_DIR) or "").strip() or None,
         }
         unknown = set(names) - set(parsers)
         if unknown:

@@ -57,6 +57,7 @@ class Relation:
         "_rows",
         "_column_index_cache",
         "_column_codes_cache",
+        "_content_hash_cache",
         "_mark_cache",
         "__weakref__",
     )
@@ -84,6 +85,7 @@ class Relation:
         self._rows: tuple[tuple[Any, ...], ...] = tuple(materialised)
         self._column_index_cache: dict[str, dict[Hashable, list[int]]] = {}
         self._column_codes_cache: dict[str, tuple[array, int, list[int]]] = {}
+        self._content_hash_cache: str | None = None
         # Explicit mark-cache override (tests / embedders); ``None`` means
         # "use the active engine state's relation-scoped cache".
         self._mark_cache: MarkTableCache | None = None
@@ -232,6 +234,22 @@ class Relation:
         encoded = (array("q", raw), len(code_of), counts)
         self._column_codes_cache[attribute] = encoded
         return encoded
+
+    def content_hash(self) -> str:
+        """The canonical content address of this relation (sha256 hexdigest).
+
+        A merkle fold of per-column sha256 leaves over the dictionary
+        encoding of :meth:`column_codes` plus the schema — backend- and
+        process-independent (see :mod:`repro.registry.hashing`).  Computed
+        lazily and cached for the lifetime of the (immutable) relation.
+        """
+        cached = self._content_hash_cache
+        if cached is None:
+            # Imported lazily: the registry package depends on this module.
+            from ..registry.hashing import relation_content_hash
+
+            cached = self._content_hash_cache = relation_content_hash(self)
+        return cached
 
     def column_code_count(self, attribute: str) -> int:
         """Number of distinct values of ``attribute`` (via the cached encoding)."""

@@ -25,10 +25,14 @@ engine behind a concurrent front door:
   built :class:`SessionPool`; CPU-bound jobs scale with cores and served
   artefacts stay byte-identical across executors).
 * :class:`~repro.serve.server.Server` — the programmatic API tying pool,
-  queue and executor together — and
+  queue, executor and the content-addressed relation registry
+  (:class:`~repro.registry.RelationRegistry`) together — and
   :class:`~repro.serve.server.HttpFrontend`, a blocking stdlib
   ``http.server`` endpoint (``POST /jobs``, ``GET /jobs/<id>``,
-  ``DELETE /jobs/<id>``, ``GET /healthz``, ``GET /stats``).
+  ``DELETE /jobs/<id>``, ``PUT /relations``, ``GET /relations/<hash>``,
+  ``GET /healthz``, ``GET /stats``).  Jobs may reference a stored relation
+  by content hash (``relation_ref``) instead of shipping rows inline —
+  byte-identical results, a fraction of the payload.
 * :mod:`~repro.serve.faults` — deterministic fault injection
   (:class:`~repro.serve.faults.FaultPlan`): seeded worker kills, delays,
   pipe drops and transient errors at named sites, the substrate of the
@@ -79,6 +83,7 @@ from .protocol import (
     JOB_REQUEST_SCHEMA,
     JOB_STATUS_SCHEMA,
     JOB_TICKET_SCHEMA,
+    RELATION_REF_SCHEMA,
     REQUEST_KINDS,
     JobRequest,
     JobTicket,
@@ -103,6 +108,7 @@ __all__ = [
     "JOB_STATUS_SCHEMA",
     "JOB_TICKET_SCHEMA",
     "QUEUED",
+    "RELATION_REF_SCHEMA",
     "REQUEST_KINDS",
     "RUNNING",
     "FaultPlan",

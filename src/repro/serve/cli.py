@@ -180,6 +180,15 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "'seed=7;process.kill:kill:p=0.05' — see repro.serve.faults "
         "(default: $REPRO_FAULTS)",
     )
+    parser.add_argument(
+        "--registry-dir",
+        default=defaults.registry_dir,
+        metavar="PATH",
+        help="directory of the persistent content-addressed relation "
+        "registry behind PUT /relations and relation_ref jobs; without "
+        "it an in-memory registry is used (no restart survival) "
+        "(default: $REPRO_REGISTRY_DIR)",
+    )
     parser.add_argument("--verbose", action="store_true", help="log every HTTP request to stderr")
     return parser
 
@@ -208,6 +217,7 @@ def main_serve(argv: Sequence[str] | None = None) -> int:
         degraded_fallback=args.degraded_fallback,
         drain_deadline=args.drain_deadline,
         faults=args.faults,
+        registry=args.registry_dir,
     )
     frontend = HttpFrontend(server, host=args.host, port=args.port, verbose=args.verbose)
     host, port = frontend.address

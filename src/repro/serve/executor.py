@@ -213,7 +213,11 @@ class ThreadExecutor(WorkerExecutor):
 # ---------------------------------------------------------------------------
 
 
-def _process_worker_main(conn: "Connection", tenant_configs_payload: dict | None) -> None:
+def _process_worker_main(
+    conn: "Connection",
+    tenant_configs_payload: dict | None,
+    registry_root: str | None = None,
+) -> None:
     """Main loop of one worker process.
 
     Owns a lazily built :class:`SessionPool` configured exactly like the
@@ -221,16 +225,22 @@ def _process_worker_main(conn: "Connection", tenant_configs_payload: dict | None
     form), executes ``("job", payload)`` messages through the same
     :func:`~repro.serve.protocol.execute_payload` path a bare session uses,
     and replies with the canonical ``repro/run-result-v1`` JSON text.
+    ``registry_root`` (the server's persistent relation registry directory)
+    lets workers resolve ``relation_ref`` jobs themselves — each worker's
+    registry keeps its own verified-relation cache, so a tenant hammering
+    one relation decodes it once per worker, not once per job.
     Job-level exceptions become ``("error", "ExcType: message")`` replies;
     only a dead pipe (parent gone) or ``("exit",)`` ends the loop.
     """
     # Imports happen here (not at module import) so the parent can ship this
     # function to a spawn-context child before the repro package is touched.
     from ..config import EngineConfig
+    from ..registry.store import RelationRegistry
     from .pool import SessionPool
     from .protocol import execute_payload
 
     pool: SessionPool | None = None
+    registry: RelationRegistry | None = None
     while True:
         try:
             message = conn.recv()
@@ -252,7 +262,9 @@ def _process_worker_main(conn: "Connection", tenant_configs_payload: dict | None
                             for tenant, fields in tenant_configs_payload.items()
                         }
                     pool = SessionPool(configs)
-                result = execute_payload(pool, message[1])
+                if registry is None and registry_root is not None:
+                    registry = RelationRegistry(registry_root)
+                result = execute_payload(pool, message[1], registry=registry)
                 conn.send(("result", json.dumps(result.payload, sort_keys=True)))
             elif op == "call":
                 conn.send(("value", message[1]()))
@@ -313,6 +325,11 @@ class ProcessExecutor(WorkerExecutor):
     faults:
         Optional :class:`~repro.serve.faults.FaultPlan` wired to the
         ``process.send``/``process.recv``/``process.kill`` injection sites.
+    registry_root:
+        Root directory of the server's **persistent** relation registry;
+        each worker process opens its own handle on it to resolve
+        ``relation_ref`` jobs (``None`` = no registry, by-reference jobs
+        are resolved inline by the server before dispatch).
     """
 
     name = "process"
@@ -327,6 +344,7 @@ class ProcessExecutor(WorkerExecutor):
         restart_window: float = 30.0,
         fallback: bool = False,
         faults: "FaultPlan | None" = None,
+        registry_root: str | None = None,
     ) -> None:
         self._tenant_configs_payload = (
             None
@@ -335,12 +353,14 @@ class ProcessExecutor(WorkerExecutor):
         )
         self._ctx = multiprocessing.get_context(start_method)
         self.start_method = start_method
+        self.registry_root = registry_root
         self.warmup = warmup
         self.faults = faults
         self.supervisor = RestartSupervisor(budget=restart_budget, window=restart_window)
         self.fallback = fallback
         self._fallback_lock = threading.Lock()
         self._fallback_pool: "SessionPool | None" = None
+        self._fallback_registry = None
         self._fallback_jobs = 0
         self._slots: list[_ProcessSlot] = []
         self._lifecycle = threading.Lock()
@@ -362,7 +382,7 @@ class ProcessExecutor(WorkerExecutor):
         parent_conn, child_conn = self._ctx.Pipe()
         process = self._ctx.Process(
             target=_process_worker_main,
-            args=(child_conn, self._tenant_configs_payload),
+            args=(child_conn, self._tenant_configs_payload, self.registry_root),
             name="repro-serve-process-worker",
             daemon=True,
         )
@@ -481,11 +501,16 @@ class ProcessExecutor(WorkerExecutor):
                         for tenant, fields in self._tenant_configs_payload.items()
                     }
                 self._fallback_pool = SessionPool(configs)
+            if self._fallback_registry is None and self.registry_root is not None:
+                from ..registry.store import RelationRegistry
+
+                self._fallback_registry = RelationRegistry(self.registry_root)
             pool = self._fallback_pool
+            registry = self._fallback_registry
         if isinstance(task, Mapping):
             from .protocol import execute_payload
 
-            return execute_payload(pool, task)
+            return execute_payload(pool, task, registry=registry)
         return task()
 
     def kill_slot(self, slot_index: int) -> bool:
@@ -601,6 +626,7 @@ def make_executor(
     restart_window: float = 30.0,
     fallback: bool = False,
     faults: "FaultPlan | None" = None,
+    registry_root: str | None = None,
 ) -> WorkerExecutor:
     """Build a :class:`WorkerExecutor` from its CLI/config name."""
     if kind == "thread":
@@ -614,5 +640,6 @@ def make_executor(
             restart_window=restart_window,
             fallback=fallback,
             faults=faults,
+            registry_root=registry_root,
         )
     raise ValueError(f"unknown executor kind {kind!r}: expected one of {EXECUTOR_KINDS}")

@@ -9,7 +9,8 @@ fault **kind**, and the decision whether the *n*-th arrival at a site fires
 is a pure function of ``(seed, rule, site, n)`` — independent of wall clock
 and of which thread got there, so a seeded storm is replayable.
 
-Sites (the hooks live in ``jobs.py``/``executor.py``):
+Sites (the hooks live in ``jobs.py``/``executor.py``, and for the registry
+sites in ``repro/registry/store.py``):
 
 ============================ ==================================================
 ``queue.execute``            a queue worker is about to run a claimed job
@@ -22,6 +23,13 @@ Sites (the hooks live in ``jobs.py``/``executor.py``):
 ``process.kill``             checked right before ``process.send`` — a ``kill``
                              rule here SIGKILLs the slot's worker process
                              mid-job (the OOM-kill simulation)
+``registry.read``            the relation registry is about to read an entry
+                             from disk (``error``/``drop`` exercise the
+                             infra-retry path of ``relation_ref`` jobs)
+``registry.write``           the commit point of an atomic registry write —
+                             after the tmp file is durable, before the rename;
+                             a ``kill`` rule here SIGKILLs the *current
+                             process* (the power-loss-mid-PUT simulation)
 ============================ ==================================================
 
 Kinds:
@@ -69,14 +77,20 @@ SITE_THREAD_RUN = "thread.run"
 SITE_PROCESS_SEND = "process.send"
 SITE_PROCESS_RECV = "process.recv"
 SITE_PROCESS_KILL = "process.kill"
+SITE_REGISTRY_READ = "registry.read"
+SITE_REGISTRY_WRITE = "registry.write"
 
-#: Every site a rule may bind to.
+#: Every site a rule may bind to.  The ``registry.*`` literals are duplicated
+#: in :mod:`repro.registry.store` (whose hooks fire them) so the registry
+#: never imports the serving package.
 KNOWN_SITES = (
     SITE_QUEUE_EXECUTE,
     SITE_THREAD_RUN,
     SITE_PROCESS_SEND,
     SITE_PROCESS_RECV,
     SITE_PROCESS_KILL,
+    SITE_REGISTRY_READ,
+    SITE_REGISTRY_WRITE,
 )
 
 #: Every fault kind a rule may inject.

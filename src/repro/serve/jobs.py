@@ -39,6 +39,8 @@ import threading
 import time
 from typing import Any, Callable
 
+from ..registry.store import IntegrityError
+from ..session import RunResult
 from .executor import RemoteJobError, ThreadExecutor, WorkerCrashed, WorkerExecutor
 from .faults import SITE_QUEUE_EXECUTE, FaultPlan
 
@@ -67,17 +69,20 @@ FAILURE_APPLICATION = "application"
 def classify_failure(exc: BaseException) -> str:
     """``infra`` or ``application`` for an execution failure.
 
-    Infrastructure failures are transport/worker-level: a crashed worker
-    process, any :class:`ConnectionError` (broken/reset pipes, and
-    :class:`~repro.serve.faults.InjectedFault` subclasses it on purpose) or
-    a truncated stream (:class:`EOFError`).  Everything else — including
-    :class:`~repro.serve.executor.RemoteJobError`, which carries an
-    application error that happened *inside* a healthy worker — is an
+    Infrastructure failures are transport/worker/store-level: a crashed
+    worker process, any :class:`ConnectionError` (broken/reset pipes, and
+    :class:`~repro.serve.faults.InjectedFault` subclasses it on purpose), a
+    truncated stream (:class:`EOFError`) or a corrupt/vanished relation
+    registry entry (:class:`~repro.registry.IntegrityError` — the store
+    quarantined the entry, so a retried job reads a clean state and fails
+    deterministically if the relation is truly gone).  Everything else —
+    including :class:`~repro.serve.executor.RemoteJobError`, which carries
+    an application error that happened *inside* a healthy worker — is an
     application failure.
     """
     if isinstance(exc, RemoteJobError):
         return FAILURE_APPLICATION
-    if isinstance(exc, (WorkerCrashed, ConnectionError, EOFError)):
+    if isinstance(exc, (WorkerCrashed, ConnectionError, EOFError, IntegrityError)):
         return FAILURE_INFRA
     return FAILURE_APPLICATION
 
@@ -532,6 +537,10 @@ class JobQueue:
                     return FAILED, None, error
             else:
                 job.failure_class = None
+                if isinstance(result, RunResult):
+                    # Re-stamp the provenance block with the executor that
+                    # actually ran the job ("inline" is the session default).
+                    result = result.with_provenance(executor=self.executor.name)
                 return DONE, result, None
 
     def _worker_loop(self, slot: int) -> None:

@@ -16,7 +16,14 @@ Schemas
     :class:`~repro.config.EngineConfig` field overrides layered on top of
     the tenant's configuration.  An optional ``deadline_ms`` (positive
     integer) bounds the job end-to-end — queue wait plus execution — and
-    an overrun yields the ``deadline_exceeded`` terminal status.
+    an overrun yields the ``deadline_exceeded`` terminal status.  Instead
+    of the inline ``relation``, a request may carry ``relation_ref`` — the
+    content hash of a relation previously stored via ``PUT /relations``
+    (exactly one of the two; both additive-v1 semantics are normative in
+    ``docs/PROTOCOL.md``).
+``repro/relation-ref-v1``
+    The ``PUT /relations`` acknowledgement: ``{"schema", "hash",
+    "created"}``.
 ``repro/job-ticket-v1``
     The submission acknowledgement: ``{"schema", "job_id", "tenant",
     "status"}``.
@@ -32,9 +39,12 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Mapping
 
 from ..config import EngineConfig
+from ..registry.hashing import is_relation_hash
+from ..registry.store import IntegrityError
 from ..relational.relation import Relation, RelationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..registry.store import RelationRegistry
     from ..session import RunResult, Session
     from .pool import SessionPool
 
@@ -46,6 +56,9 @@ JOB_TICKET_SCHEMA = "repro/job-ticket-v1"
 
 #: Schema tag of a job poll response.
 JOB_STATUS_SCHEMA = "repro/job-status-v1"
+
+#: Schema tag of a ``PUT /relations`` acknowledgement.
+RELATION_REF_SCHEMA = "repro/relation-ref-v1"
 
 #: The session verbs exposed over the wire.  (``infine`` needs a catalog and
 #: a view specification on the wire and is not served yet.)
@@ -159,14 +172,24 @@ class JobRequest:
 
     tenant: str
     kind: str
-    relation: Relation
+    relation: Relation | None = None
     params: dict[str, Any] = field(default_factory=dict)
     overrides: dict[str, Any] = field(default_factory=dict)
     deadline_ms: int | None = None
+    relation_ref: str | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.tenant, str) or not self.tenant:
             raise ProtocolError("tenant must be a non-empty string")
+        if self.relation is None and self.relation_ref is None:
+            raise ProtocolError("job request must carry relation or relation_ref")
+        if self.relation is not None and self.relation_ref is not None:
+            raise ProtocolError("job request must carry relation or relation_ref, not both")
+        if self.relation_ref is not None and not is_relation_hash(self.relation_ref):
+            raise ProtocolError(
+                f"relation_ref must be a 64-char lowercase hex content hash, "
+                f"got {self.relation_ref!r}"
+            )
         if self.deadline_ms is not None:
             if isinstance(self.deadline_ms, bool) or not isinstance(self.deadline_ms, int):
                 raise ProtocolError("deadline_ms must be a positive integer or null")
@@ -204,29 +227,51 @@ class JobRequest:
             raise ProtocolError(
                 f"not a job request payload (schema={schema!r}, expected {JOB_REQUEST_SCHEMA!r})"
             )
-        known = {"schema", "tenant", "kind", "relation", "params", "overrides", "deadline_ms"}
+        known = {
+            "schema",
+            "tenant",
+            "kind",
+            "relation",
+            "relation_ref",
+            "params",
+            "overrides",
+            "deadline_ms",
+        }
         unknown = set(payload) - known
         if unknown:
             raise ProtocolError(f"unknown job request fields: {sorted(unknown)}")
+        relation_payload = payload.get("relation")
+        relation_ref = payload.get("relation_ref")
+        if relation_payload is not None and relation_ref is not None:
+            raise ProtocolError("job request must carry relation or relation_ref, not both")
+        if relation_ref is not None and not isinstance(relation_ref, str):
+            raise ProtocolError("relation_ref must be a string content hash")
+        relation = None if relation_payload is None else relation_from_payload(relation_payload)
         return cls(
             tenant=payload.get("tenant", ""),
             kind=payload.get("kind", ""),
-            relation=relation_from_payload(payload.get("relation")),
+            relation=relation,
             params=_require_mapping(payload.get("params"), "params"),
             overrides=_require_mapping(payload.get("overrides"), "overrides"),
             deadline_ms=payload.get("deadline_ms"),
+            relation_ref=relation_ref,
         )
 
     def to_payload(self) -> dict[str, Any]:
         """The canonical ``repro/job-request-v1`` payload of this request."""
-        payload = {
+        payload: dict[str, Any] = {
             "schema": JOB_REQUEST_SCHEMA,
             "tenant": self.tenant,
             "kind": self.kind,
-            "relation": relation_to_payload(self.relation),
-            "params": dict(self.params),
-            "overrides": dict(self.overrides),
         }
+        if self.relation is not None:
+            payload["relation"] = relation_to_payload(self.relation)
+        else:
+            # Additive v1 field (see deadline_ms below): a by-reference
+            # request ships the 64-char content hash instead of the rows.
+            payload["relation_ref"] = self.relation_ref
+        payload["params"] = dict(self.params)
+        payload["overrides"] = dict(self.overrides)
         if self.deadline_ms is not None:
             # Additive v1 field: omitted when unset so payloads from callers
             # that never set a deadline are byte-identical to pre-deadline ones.
@@ -263,7 +308,34 @@ class JobTicket:
         )
 
 
-def execute_request(session: "Session", request: JobRequest) -> "RunResult":
+def resolve_relation(request: JobRequest, registry: "RelationRegistry | None") -> Relation:
+    """The concrete relation of ``request`` — inline, or fetched by hash.
+
+    A ``relation_ref`` with no registry is a deployment/protocol error; a
+    ref the registry no longer holds is a store inconsistency (submission
+    verified membership), surfaced as :class:`~repro.registry.IntegrityError`
+    so the queue classifies it as an *infra* failure and retries.
+    """
+    if request.relation is not None:
+        return request.relation
+    ref = request.relation_ref
+    assert ref is not None  # enforced by JobRequest.__post_init__
+    if registry is None:
+        raise ProtocolError("job request carries relation_ref but no relation registry is wired")
+    try:
+        return registry.get(ref)
+    except KeyError as exc:
+        raise IntegrityError(
+            f"relation {ref} vanished from the registry between submission and execution",
+            content_hash=ref,
+        ) from exc
+
+
+def execute_request(
+    session: "Session",
+    request: JobRequest,
+    registry: "RelationRegistry | None" = None,
+) -> "RunResult":
     """Run ``request`` on ``session`` — the worker-side dispatch.
 
     This is *exactly* what a bare session call would do: the serving layer
@@ -271,12 +343,16 @@ def execute_request(session: "Session", request: JobRequest) -> "RunResult":
     results are byte-identical to a direct :meth:`Session.discover`/
     :meth:`~repro.session.Session.validate`/
     :meth:`~repro.session.Session.profile` call with the same inputs.
+    By-reference requests resolve through ``registry`` first (a cache hit
+    returns the *same* :class:`Relation` object, so engine caches keyed on
+    relation identity stay warm across jobs).
     """
+    relation = resolve_relation(request, registry)
     params = request.params
     overrides = request.overrides
     if request.kind == "discover":
         return session.discover(
-            request.relation,
+            relation,
             algorithm=params.get("algorithm", "tane"),
             attributes=params.get("attributes"),
             max_lhs_size=params.get("max_lhs_size"),
@@ -285,14 +361,14 @@ def execute_request(session: "Session", request: JobRequest) -> "RunResult":
     if request.kind == "validate":
         fds = [item if isinstance(item, str) else tuple(item) for item in params["fds"]]
         return session.validate(
-            request.relation,
+            relation,
             fds,
             with_errors=bool(params.get("with_errors", True)),
             **overrides,
         )
     if request.kind == "profile":
         return session.profile(
-            request.relation,
+            relation,
             threshold=params.get("threshold", 0.05),
             max_lhs=params.get("max_lhs", 2),
             attributes=params.get("attributes"),
@@ -301,7 +377,11 @@ def execute_request(session: "Session", request: JobRequest) -> "RunResult":
     raise ProtocolError(f"unknown request kind {request.kind!r}")  # pragma: no cover
 
 
-def execute_payload(pool: "SessionPool", payload: Mapping[str, Any]) -> "RunResult":
+def execute_payload(
+    pool: "SessionPool",
+    payload: Mapping[str, Any],
+    registry: "RelationRegistry | None" = None,
+) -> "RunResult":
     """Parse a ``repro/job-request-v1`` payload and run it on the tenant's session.
 
     The single worker-side entry point shared by every executor that
@@ -311,4 +391,4 @@ def execute_payload(pool: "SessionPool", payload: Mapping[str, Any]) -> "RunResu
     artefacts byte-identical no matter where the job ran.
     """
     request = JobRequest.from_payload(payload)
-    return execute_request(pool.get(request.tenant), request)
+    return execute_request(pool.get(request.tenant), request, registry=registry)

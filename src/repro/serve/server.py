@@ -15,8 +15,10 @@ POST   ``/jobs``           submit a job request → 202 ticket, 429 full
                            (with a ``Retry-After`` hint)
 GET    ``/jobs/<id>``      poll → 200 status payload, 404 unknown
 DELETE ``/jobs/<id>``      cancel a queued job → 200 ``{"cancelled": ...}``
+PUT    ``/relations``      store a relation by content → 200 ref payload
+GET    ``/relations/<h>``  fetch a stored relation → 200 entry, 404 unknown
 GET    ``/healthz``        executor liveness → 200 healthy, 503 degraded
-GET    ``/stats``          queue + pool + executor counters
+GET    ``/stats``          queue + pool + executor + registry counters
 ====== =================== ==========================================
 """
 
@@ -28,6 +30,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping
 
 from ..config import ConfigError, EngineConfig, ServeConfig
+from ..registry.store import RELATION_ENTRY_SCHEMA, IntegrityError, RelationRegistry
+from ..relational.relation import Relation
 from ..session import RunResult
 from .executor import WorkerExecutor, make_executor
 from .faults import FaultPlan
@@ -35,10 +39,13 @@ from .jobs import DONE, Job, JobQueue, QueueClosed, QueueFull
 from .pool import SessionPool
 from .protocol import (
     JOB_STATUS_SCHEMA,
+    RELATION_REF_SCHEMA,
     JobRequest,
     JobTicket,
     ProtocolError,
     execute_request,
+    relation_from_payload,
+    relation_to_payload,
 )
 
 
@@ -70,6 +77,14 @@ class Server:
     ready :class:`~repro.serve.faults.FaultPlan`) arms deterministic fault
     injection for chaos testing.
 
+    ``registry`` wires the content-addressed relation store behind
+    ``PUT /relations`` and ``relation_ref`` jobs: a directory path (or a
+    ready :class:`~repro.registry.RelationRegistry`) makes it persistent —
+    process workers then resolve refs themselves from disk — while ``None``
+    resolves ``REPRO_REGISTRY_DIR`` and falls back to an in-memory store
+    (refs still work; the server resolves them inline before dispatching to
+    remote executors).
+
     Usable as a context manager; :meth:`close` cancels queued jobs, waits
     for running ones (terminating process workers that overrun the drain
     deadline) and closes every pooled session.
@@ -92,6 +107,7 @@ class Server:
         degraded_fallback: bool | None = None,
         drain_deadline: float | None = None,
         faults: "str | FaultPlan | None" = None,
+        registry: "str | RelationRegistry | None" = None,
     ) -> None:
         explicit = {
             "workers": workers,
@@ -104,6 +120,7 @@ class Server:
             "degraded_fallback": degraded_fallback,
             "drain_deadline": drain_deadline,
             "faults": faults,
+            "registry_dir": registry if isinstance(registry, (str, type(None))) else "",
         }
         missing = [name for name, value in explicit.items() if value is None]
         if missing:
@@ -121,9 +138,21 @@ class Server:
             degraded_fallback = resolved.get("degraded_fallback", degraded_fallback)
             drain_deadline = resolved.get("drain_deadline", drain_deadline)
             faults = resolved.get("faults", faults)
-        # One shared plan: executor sites and queue sites count arrivals on
-        # the same seeded counters, so a storm spec replays identically.
+            if registry is None:
+                registry = resolved.get("registry_dir")
+        # One shared plan: executor sites, queue sites and registry sites
+        # count arrivals on the same seeded counters, so a storm spec
+        # replays identically.
         plan = faults if isinstance(faults, FaultPlan) else FaultPlan.from_spec(faults)
+        if not isinstance(registry, RelationRegistry):
+            # A path string opens (or creates) the persistent store there;
+            # None keeps an in-memory registry so PUT /relations and
+            # relation_ref jobs work on any server, just without restart
+            # survival or cross-process sharing.
+            registry = RelationRegistry(registry or None, faults=plan)
+        elif registry.faults is None:
+            registry.faults = plan
+        self.registry = registry
         self.drain_deadline = drain_deadline
         self.pool = SessionPool(tenant_configs, max_sessions=max_sessions)
         if isinstance(executor, str):
@@ -136,6 +165,7 @@ class Server:
                 restart_window=restart_window,
                 fallback=bool(degraded_fallback),
                 faults=plan,
+                registry_root=str(registry.root) if registry.persistent else None,
             )
         self.executor = executor
         self.queue = JobQueue(
@@ -163,13 +193,32 @@ class Server:
         if not isinstance(request, JobRequest):
             request = JobRequest.from_payload(request)
 
+        if request.relation_ref is not None and request.relation_ref not in self.registry:
+            # Submission-time membership gate (HTTP 400): an unknown ref is
+            # the client's mistake, not a job worth queueing.  A ref that
+            # later turns out corrupt/vanished still fails as *infra*.
+            raise ProtocolError(
+                f"unknown relation_ref {request.relation_ref!r}: "
+                f"PUT the relation to /relations first"
+            )
+
         if self.executor.remote:
             task: Any = request.to_payload()
+            if request.relation_ref is not None and not self.registry.persistent:
+                # Worker processes cannot see an in-memory registry; ship
+                # the resolved relation inline instead (refs stay a pure
+                # client-side optimisation either way).
+                task.pop("relation_ref")
+                task["relation"] = relation_to_payload(self.registry.get(request.relation_ref))
         else:
 
             def run(request: JobRequest = request) -> RunResult:
                 session = self.pool.get(request.tenant)
-                return execute_request(session, request)
+                if request.relation_ref is None:
+                    # Keep the historical 2-arg call for inline requests —
+                    # it needs no registry and stays patchable in tests.
+                    return execute_request(session, request)
+                return execute_request(session, request, registry=self.registry)
 
             task = run
 
@@ -199,6 +248,34 @@ class Server:
         """Cancel a queued job; ``False`` when it already started or finished."""
         return self.queue.cancel(job_id)
 
+    # -- the relation registry -------------------------------------------------
+    def put_relation(self, relation: "Mapping[str, Any] | Any") -> dict[str, Any]:
+        """Store a relation by content; returns the ``repro/relation-ref-v1`` ack.
+
+        Accepts a :class:`~repro.relational.relation.Relation` or its inline
+        wire form.  Idempotent: re-PUTting the same content returns the same
+        hash with ``"created": false``.
+        """
+        if not isinstance(relation, Relation):
+            relation = relation_from_payload(relation)
+        created = relation.content_hash() not in self.registry
+        content_hash = self.registry.put(relation)
+        return {"schema": RELATION_REF_SCHEMA, "hash": content_hash, "created": created}
+
+    def get_relation(self, content_hash: str) -> dict[str, Any]:
+        """The verified ``repro/relation-v1`` entry for ``content_hash``.
+
+        Raises :class:`KeyError` when unknown (HTTP 404) and
+        :class:`~repro.registry.IntegrityError` when the stored entry failed
+        verification and was quarantined (HTTP 500).
+        """
+        relation = self.registry.get(content_hash)
+        return {
+            "schema": RELATION_ENTRY_SCHEMA,
+            "hash": content_hash,
+            "relation": relation_to_payload(relation),
+        }
+
     # -- bookkeeping -----------------------------------------------------------
     def stats(self) -> dict[str, Any]:
         """Queue, pool and executor counters (what ``GET /stats`` returns)."""
@@ -206,6 +283,7 @@ class Server:
             "queue": self.queue.stats(),
             "pool": self.pool.stats(),
             "executor": self.executor.stats(),
+            "registry": self.registry.stats(),
         }
 
     def health(self) -> dict[str, Any]:
@@ -257,6 +335,10 @@ def _job_payload(job: Job) -> dict[str, Any]:
     if job.status == DONE and isinstance(job.result, RunResult):
         payload["result"] = job.result.payload
     return payload
+
+
+#: Sentinel distinguishing "body already rejected" from a legal JSON ``null``.
+_BODY_ERROR = object()
 
 
 class _ServeHandler(BaseHTTPRequestHandler):
@@ -313,23 +395,35 @@ class _ServeHandler(BaseHTTPRequestHandler):
             return parts[2]
         return None
 
+    def _relation_hash(self) -> str | None:
+        parts = self.path.rstrip("/").split("/")
+        if len(parts) == 3 and parts[0] == "" and parts[1] == "relations" and parts[2]:
+            return parts[2]
+        return None
+
+    def _read_json_body(self) -> Any:
+        """The request's JSON body, or :data:`_BODY_ERROR` after an error response."""
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._error(400, "invalid Content-Length", close=True)
+            return _BODY_ERROR
+        if length <= 0 or length > self.max_body_bytes:
+            self._error(400, f"request body must be 1..{self.max_body_bytes} bytes", close=True)
+            return _BODY_ERROR
+        try:
+            return json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._error(400, f"invalid JSON body: {exc}")
+            return _BODY_ERROR
+
     # -- verbs ----------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         if self.path.rstrip("/") != "/jobs":
             self._error(404, f"unknown path {self.path!r}", close=True)
             return
-        try:
-            length = int(self.headers.get("Content-Length", "0"))
-        except ValueError:
-            self._error(400, "invalid Content-Length", close=True)
-            return
-        if length <= 0 or length > self.max_body_bytes:
-            self._error(400, f"request body must be 1..{self.max_body_bytes} bytes", close=True)
-            return
-        try:
-            payload = json.loads(self.rfile.read(length).decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            self._error(400, f"invalid JSON body: {exc}")
+        payload = self._read_json_body()
+        if payload is _BODY_ERROR:
             return
         try:
             ticket = self.app.submit(payload)
@@ -344,6 +438,23 @@ class _ServeHandler(BaseHTTPRequestHandler):
         else:
             self._send_json(202, ticket.to_payload())
 
+    def do_PUT(self) -> None:  # noqa: N802 - http.server API
+        if self.path.rstrip("/") != "/relations":
+            self._error(404, f"unknown path {self.path!r}", close=True)
+            return
+        payload = self._read_json_body()
+        if payload is _BODY_ERROR:
+            return
+        try:
+            ack = self.app.put_relation(payload)
+        except ProtocolError as exc:
+            self._error(400, str(exc))
+        except ValueError as exc:
+            # Non-JSON-native values cannot be stored by content.
+            self._error(400, str(exc))
+        else:
+            self._send_json(200, ack)
+
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         path = self.path.rstrip("/") or "/"
         if path == "/healthz":
@@ -352,6 +463,19 @@ class _ServeHandler(BaseHTTPRequestHandler):
             return
         if path == "/stats":
             self._send_json(200, self.app.stats())
+            return
+        content_hash = self._relation_hash()
+        if content_hash is not None:
+            try:
+                payload = self.app.get_relation(content_hash)
+            except KeyError:
+                self._error(404, f"unknown relation {content_hash!r}")
+            except IntegrityError as exc:
+                # The stored entry failed verification: it is quarantined
+                # and gone; the client must re-PUT the relation.
+                self._error(500, str(exc))
+            else:
+                self._send_json(200, payload)
             return
         job_id = self._job_id()
         if job_id is None:

@@ -39,6 +39,9 @@ from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
 from .config import EngineConfig
+from .registry.hashing import catalog_content_hash
+from .registry.provenance import PROVENANCE_KEYS, build_provenance
+from .registry.store import atomic_write_text
 from .discovery.base import DiscoveryResult, FDDiscoveryAlgorithm
 from .discovery.registry import make_algorithm
 from .fd.approximate import approximate_fds
@@ -97,8 +100,13 @@ class RunResult:
     ``stats``
         Volatile run bookkeeping (runtimes, cache counters).
     ``engine``
-        Provenance: the resolved backend name, the full configuration and
-        its fingerprint.
+        The resolved backend name, the full configuration and its
+        fingerprint.
+    ``provenance``
+        The provenance chain: ``{relation_hash, config_fingerprint,
+        code_version, executor}`` — which data (by content hash), engine
+        settings, code version and execution path produced the artefacts.
+        Verified end-to-end by :func:`repro.registry.verify_provenance`.
 
     ``save``/``load`` round-trip byte-identically: the canonical rendering
     (sorted keys, fixed indentation) is decided at serialisation time, so a
@@ -166,6 +174,11 @@ class RunResult:
         return self.payload["engine"]["config_fingerprint"]
 
     @property
+    def provenance(self) -> dict[str, Any] | None:
+        """The provenance block (``None`` on pre-provenance payloads)."""
+        return self.payload.get("provenance")
+
+    @property
     def fds(self) -> FDSet:
         """The FDs of the run (holding/discovered), as an :class:`FDSet`."""
         return FDSet(
@@ -192,10 +205,13 @@ class RunResult:
         return cls(json.loads(text))
 
     def save(self, path: "str | Path") -> Path:
-        """Write the canonical JSON rendering to ``path``; returns the path."""
-        path = Path(path)
-        path.write_text(self.to_json(), encoding="utf-8")
-        return path
+        """Write the canonical JSON rendering to ``path``; returns the path.
+
+        Atomic (tmp file + fsync + rename): a crash mid-save leaves either
+        the previous artefact or the complete new one, never truncated bytes
+        (at worst a ``.tmp`` leftover next to it).
+        """
+        return atomic_write_text(path, self.to_json())
 
     @classmethod
     def load(cls, path: "str | Path") -> "RunResult":
@@ -220,6 +236,27 @@ class RunResult:
         canonical = json.dumps(core, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
+    def with_provenance(self, **fields: Any) -> "RunResult":
+        """A copy with ``fields`` merged into the provenance block.
+
+        Used by the serving layer to stamp the executor a job actually ran
+        on; returns ``self`` unchanged when nothing would change.  Artefacts
+        and the artifact fingerprint are untouched by construction.
+        """
+        unknown = set(fields) - set(PROVENANCE_KEYS)
+        if unknown:
+            raise ValueError(f"unknown provenance fields: {sorted(unknown)}")
+        current = self.payload.get("provenance") or {}
+        if all(current.get(key) == value for key, value in fields.items()):
+            return self
+        payload = dict(self.payload)
+        payload["provenance"] = {**current, **fields}
+        # The payload is already JSON-normalised and the merge only replaces
+        # scalar values, so the __init__ round-trip can be skipped.
+        result = object.__new__(RunResult)
+        result.payload = payload
+        return result
+
     # -- builders -------------------------------------------------------------
     @classmethod
     def _build(
@@ -232,6 +269,7 @@ class RunResult:
         stats: dict[str, Any],
         config: EngineConfig,
         backend: str,
+        relation_hash: str | None = None,
     ) -> "RunResult":
         return cls(
             {
@@ -247,11 +285,19 @@ class RunResult:
                     "config": config.as_dict(),
                     "config_fingerprint": config.fingerprint(),
                 },
+                # "inline" = a bare session call; the serving layer re-stamps
+                # the executor a job actually ran on via with_provenance().
+                "provenance": build_provenance(relation_hash, config.fingerprint()),
             }
         )
 
     @classmethod
-    def from_discovery(cls, result: DiscoveryResult, config: EngineConfig) -> "RunResult":
+    def from_discovery(
+        cls,
+        result: DiscoveryResult,
+        config: EngineConfig,
+        relation_hash: str | None = None,
+    ) -> "RunResult":
         """Wrap a classic :class:`DiscoveryResult`."""
         stats = result.stats
         backend = stats.extra.get("partition_backend", get_backend().name)
@@ -271,11 +317,17 @@ class RunResult:
             },
             config=config,
             backend=backend,
+            relation_hash=relation_hash,
         )
 
     @classmethod
     def from_infine(
-        cls, result: InFineResult, algorithm: str, config: EngineConfig, backend: str
+        cls,
+        result: InFineResult,
+        algorithm: str,
+        config: EngineConfig,
+        backend: str,
+        relation_hash: str | None = None,
     ) -> "RunResult":
         """Wrap an :class:`InFineResult` (provenance triples and breakdowns)."""
         stats = result.stats
@@ -306,6 +358,7 @@ class RunResult:
             },
             config=config,
             backend=backend,
+            relation_hash=relation_hash,
         )
 
 
@@ -492,7 +545,9 @@ class Session:
         state = self._call_state(overrides)
         with activate_state(state):
             result = algorithm.discover(relation, attributes)
-        return RunResult.from_discovery(result, state.config)
+        return RunResult.from_discovery(
+            result, state.config, relation_hash=relation.content_hash()
+        )
 
     def validate(
         self,
@@ -555,6 +610,7 @@ class Session:
             },
             config=state.config,
             backend=state.backend_for(len(relation)).name,
+            relation_hash=relation.content_hash(),
         )
 
     def profile(
@@ -599,6 +655,7 @@ class Session:
             stats={"runtime_seconds": runtime},
             config=state.config,
             backend=state.backend_for(len(relation)).name,
+            relation_hash=relation.content_hash(),
         )
 
     def infine(
@@ -631,6 +688,7 @@ class Session:
             algorithm=engine.base_algorithm.name,
             config=state.config,
             backend=state.backend_for().name,
+            relation_hash=catalog_content_hash(catalog),
         )
 
 
