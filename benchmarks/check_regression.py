@@ -12,13 +12,33 @@ Exit status 1 (with a diff message) when
 ``fresh > baseline * (1 + max_regression)``; improvements and small noise
 pass.  ``--metric`` selects another scalar from the run record
 (e.g. ``seconds.g3`` using dotted paths).
+
+Committed baselines compare numbers from *different* machines, so the gate
+needs a generous envelope.  ``--two-ref`` instead benchmarks two git refs on
+the **same runner**: it checks the merge base of ``--base-ref`` and ``HEAD``
+out into a temporary worktree, runs ``--bench-cmd`` there and in the current
+tree (``{out}`` in the command is replaced with a scratch JSON path), and
+gates HEAD against the merge base::
+
+    python benchmarks/check_regression.py --two-ref \\
+        --base-ref origin/main \\
+        --bench-cmd "python benchmarks/bench_partition_kernel.py \\
+                     --label vectorized --output {out}" \\
+        --label vectorized --max-regression 0.15
+
+Same hardware on both legs means the envelope can be tight; ``PYTHONPATH``
+is pointed at each tree's own ``src`` so every ref benchmarks its own code.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import shlex
+import subprocess
 import sys
+import tempfile
 from pathlib import Path
 
 
@@ -50,16 +70,74 @@ def _load_run(path: Path, label: str) -> dict:
     return runs[label]
 
 
+def _git(repo: Path, *argv: str) -> str:
+    process = subprocess.run(
+        ["git", "-C", str(repo), *argv], capture_output=True, text=True
+    )
+    if process.returncode != 0:
+        raise SystemExit(f"git {' '.join(argv)} failed: {process.stderr.strip()}")
+    return process.stdout.strip()
+
+
+def _run_bench(command: str, tree: Path, out: Path) -> None:
+    """Run ``command`` (with ``{out}`` substituted) inside ``tree``.
+
+    ``PYTHONPATH`` is pointed at the tree's own ``src`` so the checked-out
+    ref benchmarks its own code, not the caller's.
+    """
+    argv = [part.replace("{out}", str(out)) for part in shlex.split(command)]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(tree / "src")
+    print(f"[check_regression] running in {tree}: {' '.join(argv)}")
+    process = subprocess.run(argv, cwd=str(tree), env=env)
+    if process.returncode != 0:
+        raise SystemExit(f"benchmark command failed (exit {process.returncode}) in {tree}")
+
+
+def _two_ref_files(args: argparse.Namespace, scratch: Path) -> tuple[Path, Path]:
+    """Benchmark the merge base and HEAD on this runner; return both JSONs."""
+    repo = Path(__file__).resolve().parent.parent
+    base_sha = _git(repo, "merge-base", args.base_ref, "HEAD")
+    head_sha = _git(repo, "rev-parse", "--short", "HEAD")
+    print(f"[check_regression] two-ref: merge-base {base_sha[:12]} vs HEAD {head_sha}")
+    baseline_json = scratch / "baseline.json"
+    fresh_json = scratch / "fresh.json"
+    worktree = scratch / "base-worktree"
+    _git(repo, "worktree", "add", "--detach", str(worktree), base_sha)
+    try:
+        _run_bench(args.bench_cmd, worktree, baseline_json)
+    finally:
+        _git(repo, "worktree", "remove", "--force", str(worktree))
+    _run_bench(args.bench_cmd, repo, fresh_json)
+    return baseline_json, fresh_json
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--baseline",
         type=Path,
-        required=True,
         help="committed benchmark JSON (the trajectory file)",
     )
     parser.add_argument(
-        "--fresh", type=Path, required=True, help="benchmark JSON produced by the fresh run"
+        "--fresh", type=Path, help="benchmark JSON produced by the fresh run"
+    )
+    parser.add_argument(
+        "--two-ref",
+        action="store_true",
+        help="benchmark the merge base of --base-ref and HEAD on this runner "
+        "instead of reading --baseline/--fresh files",
+    )
+    parser.add_argument(
+        "--base-ref",
+        default="origin/main",
+        help="ref whose merge base with HEAD is the two-ref baseline "
+        "(default: origin/main)",
+    )
+    parser.add_argument(
+        "--bench-cmd",
+        help="benchmark command for --two-ref; '{out}' is replaced with the "
+        "scratch JSON path, and it runs once per ref inside that ref's tree",
     )
     parser.add_argument(
         "--label", default="vectorized", help="run label to compare (default: vectorized)"
@@ -77,8 +155,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    baseline = _metric(_load_run(args.baseline, args.label), args.metric)
-    fresh = _metric(_load_run(args.fresh, args.label), args.metric)
+    if args.two_ref:
+        if not args.bench_cmd:
+            parser.error("--two-ref requires --bench-cmd")
+        if args.baseline or args.fresh:
+            parser.error("--two-ref is mutually exclusive with --baseline/--fresh")
+        with tempfile.TemporaryDirectory(prefix="check-regression-") as scratch:
+            baseline_path, fresh_path = _two_ref_files(args, Path(scratch))
+            baseline = _metric(_load_run(baseline_path, args.label), args.metric)
+            fresh = _metric(_load_run(fresh_path, args.label), args.metric)
+    else:
+        if not args.baseline or not args.fresh:
+            parser.error("--baseline and --fresh are required unless --two-ref is set")
+        baseline = _metric(_load_run(args.baseline, args.label), args.metric)
+        fresh = _metric(_load_run(args.fresh, args.label), args.metric)
     if baseline <= 0:
         raise SystemExit(f"baseline metric {args.metric!r} must be positive, got {baseline!r}")
     limit = baseline * (1.0 + args.max_regression)

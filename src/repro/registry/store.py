@@ -160,6 +160,13 @@ class RelationRegistry:
     max_cached_relations:
         Bound on the materialisation LRU (and on the whole store when
         in-memory).
+    max_quarantine_bytes:
+        Size cap on the ``quarantine/`` directory.  Quarantined entries are
+        forensic evidence, not data the store needs — without a cap a
+        corruption storm (or a restart loop over the same rotten entry)
+        grows the directory without bound.  Oldest files are pruned first,
+        at construction (stale quarantine from previous runs) and after
+        every new quarantine; ``0`` disables pruning.
     """
 
     def __init__(
@@ -167,13 +174,19 @@ class RelationRegistry:
         root: "str | os.PathLike[str] | None" = None,
         faults: Any = None,
         max_cached_relations: int = 256,
+        max_quarantine_bytes: int = 64 * 1024 * 1024,
     ) -> None:
         if max_cached_relations < 1:
             raise ValueError(
                 f"max_cached_relations must be at least 1, got {max_cached_relations}"
             )
+        if max_quarantine_bytes < 0:
+            raise ValueError(
+                f"max_quarantine_bytes must be non-negative, got {max_quarantine_bytes}"
+            )
         self.faults = faults
         self._max_cached = max_cached_relations
+        self._max_quarantine_bytes = max_quarantine_bytes
         self._lock = threading.RLock()
         self._cache: "OrderedDict[str, Relation]" = OrderedDict()
         self._counters = {
@@ -184,6 +197,7 @@ class RelationRegistry:
             "writes": 0,
             "write_skips": 0,
             "quarantined": 0,
+            "quarantine_pruned": 0,
         }
         self.last_recovery: dict[str, int] | None = None
         self.root: Path | None = None if root is None else Path(root)
@@ -191,6 +205,7 @@ class RelationRegistry:
             self._objects_dir.mkdir(parents=True, exist_ok=True)
             self._quarantine_dir.mkdir(parents=True, exist_ok=True)
             self.last_recovery = self.recover()
+            self._prune_quarantine()
 
     # -- layout ----------------------------------------------------------------
     @property
@@ -381,7 +396,42 @@ class RelationRegistry:
             return None
         with self._lock:
             self._counters["quarantined"] += 1
+        self._prune_quarantine(keep=target)
         return str(target)
+
+    def _prune_quarantine(self, keep: "Path | None" = None) -> int:
+        """Trim ``quarantine/`` to the byte cap, oldest files first.
+
+        ``keep`` protects the just-quarantined file — the evidence of the
+        *current* failure must survive its own pruning sweep even when it
+        alone exceeds the cap.  Returns how many files were removed.
+        """
+        if not self._max_quarantine_bytes:
+            return 0
+        entries = []
+        for path in self._quarantine_dir.iterdir():
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - raced with another pruner
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        total = sum(size for _mtime, size, _path in entries)
+        removed = 0
+        for _mtime, size, path in sorted(entries):
+            if total <= self._max_quarantine_bytes:
+                break
+            if keep is not None and path == keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - raced with another pruner
+                continue
+            total -= size
+            removed += 1
+        if removed:
+            with self._lock:
+                self._counters["quarantine_pruned"] += removed
+        return removed
 
     def _remember(self, content_hash: str, relation: Relation) -> Relation:
         with self._lock:
@@ -433,6 +483,18 @@ class RelationRegistry:
             }
         if self.root is not None:
             payload["root"] = str(self.root)
+            files = bytes_used = 0
+            for path in self._quarantine_dir.iterdir():
+                try:
+                    bytes_used += path.stat().st_size
+                except OSError:  # pragma: no cover - raced with a pruner
+                    continue
+                files += 1
+            payload["quarantine"] = {
+                "files": files,
+                "bytes": bytes_used,
+                "max_bytes": self._max_quarantine_bytes,
+            }
         if self.last_recovery is not None:
             payload["recovery"] = dict(self.last_recovery)
         return payload

@@ -52,6 +52,7 @@ configurable deadline.
 
 from .executor import (
     EXECUTOR_KINDS,
+    PreparedTask,
     ProcessExecutor,
     RemoteJobError,
     RestartSupervisor,
@@ -120,6 +121,7 @@ __all__ = [
     "JobQueue",
     "JobRequest",
     "JobTicket",
+    "PreparedTask",
     "ProcessExecutor",
     "ProtocolError",
     "QueueClosed",

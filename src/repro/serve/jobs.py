@@ -499,7 +499,13 @@ class JobQueue:
         return True
 
     def _execute_with_retries(self, slot: int, job: Job, task: Any) -> tuple[str, Any, str | None]:
-        """Run one claimed job, retrying infra failures; returns (outcome, result, error)."""
+        """Run one claimed job, retrying infra failures; returns (outcome, result, error).
+
+        Every attempt passes the *same* ``task`` object to the executor —
+        for a :class:`~repro.serve.executor.PreparedTask` that is the
+        serialise-once guarantee: attempt N ships the exact payload bytes
+        attempt 1 encoded (pinned by its ``serialisations`` counter).
+        """
         faults = self.faults
         while True:
             job.attempts += 1

@@ -18,7 +18,7 @@ DELETE ``/jobs/<id>``      cancel a queued job → 200 ``{"cancelled": ...}``
 PUT    ``/relations``      store a relation by content → 200 ref payload
 GET    ``/relations/<h>``  fetch a stored relation → 200 entry, 404 unknown
 GET    ``/healthz``        executor liveness → 200 healthy, 503 degraded
-GET    ``/stats``          queue + pool + executor + registry counters
+GET    ``/stats``          queue + pool + executor + registry + shm counters
 ====== =================== ==========================================
 """
 
@@ -33,7 +33,7 @@ from ..config import ConfigError, EngineConfig, ServeConfig
 from ..registry.store import RELATION_ENTRY_SCHEMA, IntegrityError, RelationRegistry
 from ..relational.relation import Relation
 from ..session import RunResult
-from .executor import WorkerExecutor, make_executor
+from .executor import PreparedTask, WorkerExecutor, make_executor
 from .faults import FaultPlan
 from .jobs import DONE, Job, JobQueue, QueueClosed, QueueFull
 from .pool import SessionPool
@@ -77,6 +77,15 @@ class Server:
     ready :class:`~repro.serve.faults.FaultPlan`) arms deterministic fault
     injection for chaos testing.
 
+    Process-pool shape: ``processes`` sizes the worker-process pool
+    independently of the queue's thread count (``0``/``None`` = match it),
+    ``max_jobs_per_worker`` recycles each worker process after that many
+    jobs, and ``shm_bytes`` budgets the zero-copy shared-memory data plane
+    (``0`` disables it; registry-resident relations then travel as per-job
+    JSON).  All three resolve from ``REPRO_SERVE_PROCESSES``/
+    ``REPRO_SERVE_MAX_JOBS_PER_WORKER``/``REPRO_SHM_BYTES`` when ``None``
+    and are inert for thread executors.
+
     ``registry`` wires the content-addressed relation store behind
     ``PUT /relations`` and ``relation_ref`` jobs: a directory path (or a
     ready :class:`~repro.registry.RelationRegistry`) makes it persistent —
@@ -108,6 +117,9 @@ class Server:
         drain_deadline: float | None = None,
         faults: "str | FaultPlan | None" = None,
         registry: "str | RelationRegistry | None" = None,
+        processes: int | None = None,
+        max_jobs_per_worker: int | None = None,
+        shm_bytes: int | None = None,
     ) -> None:
         explicit = {
             "workers": workers,
@@ -121,6 +133,9 @@ class Server:
             "drain_deadline": drain_deadline,
             "faults": faults,
             "registry_dir": registry if isinstance(registry, (str, type(None))) else "",
+            "processes": processes,
+            "max_jobs_per_worker": max_jobs_per_worker,
+            "shm_bytes": shm_bytes,
         }
         missing = [name for name, value in explicit.items() if value is None]
         if missing:
@@ -140,6 +155,9 @@ class Server:
             faults = resolved.get("faults", faults)
             if registry is None:
                 registry = resolved.get("registry_dir")
+            processes = resolved.get("processes", processes)
+            max_jobs_per_worker = resolved.get("max_jobs_per_worker", max_jobs_per_worker)
+            shm_bytes = resolved.get("shm_bytes", shm_bytes)
         # One shared plan: executor sites, queue sites and registry sites
         # count arrivals on the same seeded counters, so a storm spec
         # replays identically.
@@ -166,6 +184,9 @@ class Server:
                 fallback=bool(degraded_fallback),
                 faults=plan,
                 registry_root=str(registry.root) if registry.persistent else None,
+                processes=processes or 0,
+                max_jobs_per_worker=max_jobs_per_worker or 0,
+                shm_bytes=shm_bytes or 0,
             )
         self.executor = executor
         self.queue = JobQueue(
@@ -203,13 +224,24 @@ class Server:
             )
 
         if self.executor.remote:
-            task: Any = request.to_payload()
-            if request.relation_ref is not None and not self.registry.persistent:
-                # Worker processes cannot see an in-memory registry; ship
-                # the resolved relation inline instead (refs stay a pure
-                # client-side optimisation either way).
-                task.pop("relation_ref")
-                task["relation"] = relation_to_payload(self.registry.get(request.relation_ref))
+            payload: dict[str, Any] = request.to_payload()
+            shm_hash = None
+            if request.relation_ref is not None:
+                relation = self.registry.get(request.relation_ref)
+                if not self.registry.persistent:
+                    # Worker processes cannot see an in-memory registry; ship
+                    # the resolved relation inline instead (refs stay a pure
+                    # client-side optimisation either way).
+                    payload.pop("relation_ref")
+                    payload["relation"] = relation_to_payload(relation)
+                plane = getattr(self.executor, "plane", None)
+                if plane is not None:
+                    # Publish is idempotent by content hash and may decline
+                    # (budget, non-scalar values) — then shm_hash stays None
+                    # and the job simply travels the wire it carries anyway.
+                    shm_hash = plane.publish(relation)
+            # Serialised once here; every retry attempt reuses the bytes.
+            task: Any = PreparedTask(payload, shm_hash=shm_hash)
         else:
 
             def run(request: JobRequest = request) -> RunResult:
@@ -279,11 +311,13 @@ class Server:
     # -- bookkeeping -----------------------------------------------------------
     def stats(self) -> dict[str, Any]:
         """Queue, pool and executor counters (what ``GET /stats`` returns)."""
+        executor_stats = self.executor.stats()
         return {
             "queue": self.queue.stats(),
             "pool": self.pool.stats(),
-            "executor": self.executor.stats(),
+            "executor": executor_stats,
             "registry": self.registry.stats(),
+            "shm": executor_stats.get("shm", {"enabled": False}),
         }
 
     def health(self) -> dict[str, Any]:

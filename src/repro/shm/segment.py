@@ -1,0 +1,143 @@
+"""The binary segment format of the shared-memory data plane.
+
+A **segment** is the flat, attach-in-place form of one relation: a small
+JSON header (name, schema, per-column dictionaries, content hash) followed
+by the relation's dense dictionary-encoded code arrays — the exact
+``array('q')`` streams :meth:`~repro.relational.relation.Relation.column_codes`
+already computes — laid out contiguously so a worker can reconstruct every
+column as a zero-copy ``np.frombuffer`` view:
+
+.. code-block:: text
+
+    offset 0    magic            b"RPROSHM1"
+    offset 8    header length H  uint64 little-endian
+    offset 16   header JSON      H bytes of UTF-8 (see ``SEGMENT_SCHEMA``)
+    align 8     code arrays      one int64[n_rows] block per attribute,
+                                 in schema order, native byte order
+
+Codes are written in *native* byte order: segments are a same-host IPC
+format (parent process to its worker processes), never a persistence or
+wire format — the content hash in the header is the portable identity.
+
+Dictionaries ride in the header as JSON, so only relations whose distinct
+values are JSON scalars are representable; :func:`encode_segment` raises
+:class:`SegmentFormatError` for anything else and the caller falls back to
+the pickled wire path (the fallback matrix in ``docs/ARCHITECTURE.md``).
+"""
+
+from __future__ import annotations
+
+import json
+from array import array
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..relational.relation import Relation
+
+#: First eight bytes of every segment.
+SEGMENT_MAGIC = b"RPROSHM1"
+
+#: Schema tag of the segment header (versioned like the wire schemas).
+SEGMENT_SCHEMA = "repro/shm-segment-v1"
+
+#: Bytes before the header JSON: magic + header length.
+_PREFIX_LENGTH = 16
+
+#: The JSON value types a segment dictionary may hold.  ``bool`` is an
+#: ``int`` subclass and round-trips; containers are rejected because JSON
+#: turns tuples into lists, which would silently change the decoded values.
+_SCALAR_TYPES = (str, int, float, type(None))
+
+
+class SegmentFormatError(ValueError):
+    """Raised for relations a segment cannot represent, or corrupt segments."""
+
+
+def _align8(n: int) -> int:
+    return (n + 7) & ~7
+
+
+def encode_segment(relation: "Relation") -> "tuple[bytes, list[array], int]":
+    """``(header_bytes, code_arrays, total_size)`` of ``relation``'s segment form.
+
+    Pure encoding — no shared memory is touched.  Raises
+    :class:`SegmentFormatError` when a column's dictionary holds non-scalar
+    values (the publish path treats that as "not representable, use the
+    wire").  ``code_arrays`` are the relation's own cached encodings, so
+    repeated publishes of a registry-resident relation never re-encode.
+    """
+    columns: list[dict[str, Any]] = []
+    arrays: list[array] = []
+    for attribute in relation.attribute_names:
+        codes, n_codes = relation.column_codes(attribute)
+        dictionary = relation.column_dictionary(attribute)
+        for value in dictionary:
+            if not isinstance(value, _SCALAR_TYPES):
+                raise SegmentFormatError(
+                    f"column {attribute!r} of relation {relation.name!r} holds a "
+                    f"{type(value).__name__} value; segments carry JSON scalars only"
+                )
+        columns.append(
+            {"attribute": attribute, "n_codes": n_codes, "dictionary": dictionary}
+        )
+        arrays.append(codes)
+    header = {
+        "schema": SEGMENT_SCHEMA,
+        "name": relation.name,
+        "attributes": list(relation.attribute_names),
+        "n_rows": len(relation),
+        "hash": relation.content_hash(),
+        "columns": columns,
+    }
+    try:
+        header_bytes = json.dumps(header, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise SegmentFormatError(
+            f"relation {relation.name!r} is not JSON-representable: {exc}"
+        ) from exc
+    data_offset = _align8(_PREFIX_LENGTH + len(header_bytes))
+    total = data_offset + 8 * len(arrays) * len(relation)
+    return header_bytes, arrays, total
+
+
+def write_segment(buf, header_bytes: bytes, arrays: "list[array]", n_rows: int) -> None:
+    """Lay out an encoded segment into ``buf`` (a writable buffer)."""
+    buf[0:8] = SEGMENT_MAGIC
+    buf[8:16] = len(header_bytes).to_bytes(8, "little")
+    buf[_PREFIX_LENGTH : _PREFIX_LENGTH + len(header_bytes)] = header_bytes
+    offset = _align8(_PREFIX_LENGTH + len(header_bytes))
+    stride = 8 * n_rows
+    for codes in arrays:
+        buf[offset : offset + stride] = codes.tobytes()
+        offset += stride
+
+
+def read_header(buf) -> "tuple[dict[str, Any], int]":
+    """``(header, data_offset)`` of the segment in ``buf``.
+
+    Validates the magic and schema tag; the caller validates the content
+    hash against what it expected to attach.
+    """
+    if len(buf) < _PREFIX_LENGTH or bytes(buf[0:8]) != SEGMENT_MAGIC:
+        raise SegmentFormatError("not a repro shared-memory segment (bad magic)")
+    header_length = int.from_bytes(buf[8:16], "little")
+    if _PREFIX_LENGTH + header_length > len(buf):
+        raise SegmentFormatError(
+            f"segment header overruns the mapping ({header_length} bytes declared)"
+        )
+    try:
+        header = json.loads(bytes(buf[_PREFIX_LENGTH : _PREFIX_LENGTH + header_length]))
+    except ValueError as exc:
+        raise SegmentFormatError(f"corrupt segment header: {exc}") from exc
+    if not isinstance(header, dict) or header.get("schema") != SEGMENT_SCHEMA:
+        raise SegmentFormatError(
+            f"unknown segment schema {header.get('schema') if isinstance(header, dict) else header!r}"
+        )
+    data_offset = _align8(_PREFIX_LENGTH + header_length)
+    n_rows = header.get("n_rows")
+    columns = header.get("columns")
+    if not isinstance(n_rows, int) or not isinstance(columns, list):
+        raise SegmentFormatError("segment header is missing n_rows/columns")
+    if data_offset + 8 * len(columns) * n_rows > len(buf):
+        raise SegmentFormatError("segment code arrays overrun the mapping")
+    return header, data_offset

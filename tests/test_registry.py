@@ -274,6 +274,53 @@ class TestDiskRegistry:
         assert digest in RelationRegistry(tmp_path)
 
 
+class TestQuarantineCap:
+    @staticmethod
+    def _stale_quarantine(tmp_path, count: int, size: int = 1024):
+        """Pre-populate ``quarantine/`` with ``count`` aged files."""
+        RelationRegistry(tmp_path)  # creates the layout
+        quarantine = tmp_path / "quarantine"
+        paths = []
+        for index in range(count):
+            path = quarantine / f"stale-{index}.json.1.{index:08d}"
+            path.write_bytes(b"x" * size)
+            os.utime(path, (1_000_000 + index, 1_000_000 + index))  # distinct mtimes
+            paths.append(path)
+        return paths
+
+    def test_startup_prunes_stale_quarantine_oldest_first(self, tmp_path):
+        paths = self._stale_quarantine(tmp_path, count=4, size=1024)
+        registry = RelationRegistry(tmp_path, max_quarantine_bytes=2 * 1024)
+        assert [p.exists() for p in paths] == [False, False, True, True]
+        stats = registry.stats()
+        assert stats["quarantine_pruned"] == 2
+        assert stats["quarantine"] == {"files": 2, "bytes": 2 * 1024, "max_bytes": 2 * 1024}
+
+    def test_fresh_quarantine_evicts_old_evidence_not_itself(self, tmp_path):
+        old = self._stale_quarantine(tmp_path, count=1, size=4096)
+        registry = RelationRegistry(tmp_path, max_quarantine_bytes=4096)
+        digest = registry.put(make_relation())
+        path = tmp_path / "objects" / f"{digest}.json"
+        path.write_bytes(b"\xde\xad" * 64)
+        fresh = RelationRegistry(tmp_path, max_quarantine_bytes=4096)
+        with pytest.raises(IntegrityError) as excinfo:
+            fresh.get(digest)
+        # The just-quarantined file survives its own pruning sweep; the
+        # stale evidence goes first.
+        assert Path(excinfo.value.quarantined).exists()
+        assert not old[0].exists()
+
+    def test_zero_cap_disables_pruning(self, tmp_path):
+        paths = self._stale_quarantine(tmp_path, count=3)
+        registry = RelationRegistry(tmp_path, max_quarantine_bytes=0)
+        assert all(p.exists() for p in paths)
+        assert registry.stats()["quarantine_pruned"] == 0
+
+    def test_rejects_negative_cap(self, tmp_path):
+        with pytest.raises(ValueError, match="non-negative"):
+            RelationRegistry(tmp_path, max_quarantine_bytes=-1)
+
+
 class TestAtomicSave:
     def test_save_is_atomic_and_byte_identical(self, tmp_path):
         result = Session().discover(make_relation())
