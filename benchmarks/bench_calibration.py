@@ -1,0 +1,204 @@
+"""Calibrate machine-local kernel thresholds and print an ``EngineConfig``.
+
+The two data-dependent switch points of the partition kernel are knobs, not
+constants, because their crossover depends on the host (cache sizes, numpy
+build, CPU):
+
+* ``backend_min_numpy_rows`` — below how many rows the pure-python backend
+  beats the numpy backend (per-call dispatch overhead dominates tiny
+  inputs).  Measured by timing a full encode + pairwise-intersect pass on
+  the same relation under each backend across a row-count sweep.
+* ``counting_sort_max_codes`` — up to which key-space bound the
+  counting-sort grouping path (``uint16`` radix) beats the composite
+  introsort.  Measured by timing ``NumpyBackend._stable_order`` with the
+  counting path forced on vs off across a key-space sweep.
+
+The output is a ready-to-paste recommendation::
+
+    PYTHONPATH=src python benchmarks/bench_calibration.py
+    PYTHONPATH=src python benchmarks/bench_calibration.py \
+        --output calibration.json --repeats 9
+
+On a machine without numpy both sweeps are moot — the script says so and
+exits cleanly (the python backend is the only choice, and the counting-sort
+knob only steers numpy code).
+
+Results are advisory: the defaults (``backend_min_numpy_rows=0``,
+``counting_sort_max_codes=65536``) are already right for typical hosts; run
+this when deploying on unusual hardware or after a numpy upgrade.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.config import (  # noqa: E402
+    ENV_BACKEND_MIN_NUMPY_ROWS,
+    ENV_COUNTING_SORT_MAX_CODES,
+)
+from repro.session import Session  # noqa: E402
+
+from bench_partition_kernel import COLUMN_SPECS, build_relation  # noqa: E402
+
+#: Row counts swept for the python-vs-numpy crossover.
+BACKEND_ROW_SWEEP = (100, 250, 500, 1_000, 2_000, 4_000)
+
+#: Key-space bounds swept for the counting-sort-vs-introsort crossover
+#: (``counting_sort_max_codes`` is capped at 65536 = the uint16 space).
+KEY_SPACE_SWEEP = (64, 256, 1_024, 4_096, 16_384, 65_536)
+
+#: Rows used for the sort sweep — large enough that sorting dominates.
+SORT_SWEEP_ROWS = 50_000
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _encode_intersect_seconds(backend: str, n_rows: int, repeats: int) -> float:
+    """Best-of time of one encode + pairwise-intersect pass on ``backend``."""
+    from repro.relational.partition import StrippedPartition
+
+    relation = build_relation(n_rows)
+    names = relation.attribute_names
+    with Session(backend=backend, backend_min_numpy_rows=0):
+        partitions = [StrippedPartition.from_column(relation, n) for n in names]
+
+        def work() -> None:
+            for i in range(len(partitions)):
+                for j in range(i + 1, len(partitions)):
+                    partitions[i].intersect(partitions[j])
+
+        return _best_of(repeats, work)
+
+
+def calibrate_backend_min_rows(repeats: int) -> dict:
+    """Sweep row counts; recommend the smallest n where numpy wins."""
+    rows = []
+    crossover = 0
+    for n_rows in BACKEND_ROW_SWEEP:
+        python_s = _encode_intersect_seconds("python", n_rows, repeats)
+        numpy_s = _encode_intersect_seconds("numpy", n_rows, repeats)
+        winner = "numpy" if numpy_s <= python_s else "python"
+        rows.append(
+            {
+                "n_rows": n_rows,
+                "python_s": round(python_s, 6),
+                "numpy_s": round(numpy_s, 6),
+                "winner": winner,
+            }
+        )
+        if winner == "python":
+            crossover = n_rows + 1  # python still ahead at this size
+    # Everything >= the last python win goes to numpy; 0 means numpy always.
+    recommended = 0 if crossover <= BACKEND_ROW_SWEEP[0] else crossover
+    return {"sweep": rows, "recommended": recommended}
+
+
+def calibrate_counting_sort(repeats: int) -> dict:
+    """Sweep key-space bounds; recommend the largest bound where counting wins."""
+    import numpy as np
+
+    from repro.relational.backend import NumpyBackend
+
+    rng = np.random.default_rng(7)
+    rows = []
+    recommended = 0
+    for bound in KEY_SPACE_SWEEP:
+        keys = rng.integers(0, bound, SORT_SWEEP_ROWS).astype(np.int64)
+        counting_s = _best_of(repeats, lambda: NumpyBackend._stable_order(keys, bound, bound))
+        introsort_s = _best_of(repeats, lambda: NumpyBackend._stable_order(keys, bound, 0))
+        winner = "counting" if counting_s <= introsort_s else "introsort"
+        rows.append(
+            {
+                "key_space": bound,
+                "counting_s": round(counting_s, 6),
+                "introsort_s": round(introsort_s, 6),
+                "winner": winner,
+            }
+        )
+        if winner == "counting":
+            recommended = bound
+    return {"sweep": rows, "recommended": recommended}
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--output", default=None, help="optional JSON file for the raw sweep numbers"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        print(
+            "[bench_calibration] numpy is not importable: the python backend "
+            "is the only option, and both thresholds only steer numpy code.\n"
+            "Nothing to calibrate."
+        )
+        return
+
+    print(f"[bench_calibration] columns={len(COLUMN_SPECS)} repeats={args.repeats}")
+
+    backend_cal = calibrate_backend_min_rows(args.repeats)
+    print("\nbackend crossover (encode + pairwise intersect):")
+    for row in backend_cal["sweep"]:
+        print(
+            f"  rows={row['n_rows']:>6}  python={row['python_s'] * 1e3:8.2f} ms"
+            f"  numpy={row['numpy_s'] * 1e3:8.2f} ms  -> {row['winner']}"
+        )
+
+    sort_cal = calibrate_counting_sort(args.repeats)
+    print(f"\nsort-path crossover ({SORT_SWEEP_ROWS} rows):")
+    for row in sort_cal["sweep"]:
+        print(
+            f"  key_space={row['key_space']:>6}"
+            f"  counting={row['counting_s'] * 1e3:8.2f} ms"
+            f"  introsort={row['introsort_s'] * 1e3:8.2f} ms  -> {row['winner']}"
+        )
+
+    min_rows = backend_cal["recommended"]
+    max_codes = sort_cal["recommended"]
+    print("\nrecommended EngineConfig for this machine:")
+    print(
+        "  EngineConfig(\n"
+        f"      backend_min_numpy_rows={min_rows},\n"
+        f"      counting_sort_max_codes={max_codes},\n"
+        "  )"
+    )
+    print("or via environment:")
+    print(f"  export {ENV_BACKEND_MIN_NUMPY_ROWS}={min_rows}")
+    print(f"  export {ENV_COUNTING_SORT_MAX_CODES}={max_codes}")
+
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(
+                {
+                    "backend_min_numpy_rows": backend_cal,
+                    "counting_sort_max_codes": sort_cal,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        print(f"\nraw sweeps written to {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,8 +9,9 @@ primitives timed here:
 * **refines** — the refinement test behind ``X -> A`` validity;
 * **g3** — the violation-fraction measure of approximate FDs;
 * **validate_level** — the batched per-level candidate validation entry
-  point (one vectorized pass per shared LHS partition), timed against the
-  equivalent scalar ``fd_holds_fast`` loop (``validate_scalar``).
+  point (one backend call per lattice level; the numpy backend stacks
+  candidates across LHS partitions when the level is dispatch-bound), timed
+  against the equivalent scalar ``fd_holds_fast`` loop (``validate_scalar``).
 
 The benchmark is a plain script (no pytest dependency) so it can run on any
 checkout and emit comparable numbers::
@@ -134,12 +135,8 @@ def run_bench(n_rows: int, repeats: int = 3) -> dict:
         for j in range(i + 1, len(partitions))
     ]
 
-    intersect_s = _best_of(
-        repeats, lambda: [left.intersect(right) for left, right in pairs]
-    )
-    refines_s = _best_of(
-        repeats, lambda: [left.refines(right) for left, right in pairs]
-    )
+    intersect_s = _best_of(repeats, lambda: [left.intersect(right) for left, right in pairs])
+    refines_s = _best_of(repeats, lambda: [left.refines(right) for left, right in pairs])
 
     def g3() -> None:
         cache = PartitionCache(relation)
@@ -159,9 +156,7 @@ def run_bench(n_rows: int, repeats: int = 3) -> dict:
         for rhs in names
         if rhs not in (names[i], names[j])
     ]
-    validate_batch_s = _best_of(
-        repeats, lambda: validate_level(relation, level)
-    )
+    validate_batch_s = _best_of(repeats, lambda: validate_level(relation, level))
     validate_scalar_s = _best_of(
         repeats,
         lambda: [fd_holds_fast(relation, partition, rhs) for partition, rhs in level],
@@ -187,16 +182,23 @@ def run_bench(n_rows: int, repeats: int = 3) -> dict:
 
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--label", default="current",
-                        help="run label merged into the output JSON (e.g. seed, columnar)")
-    parser.add_argument("--output", default=str(Path(__file__).resolve().parent.parent
-                                                / "BENCH_partitions.json"),
-                        help="path of the JSON trajectory file")
+    parser.add_argument(
+        "--label",
+        default="current",
+        help="run label merged into the output JSON (e.g. seed, columnar)",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_partitions.json"),
+        help="path of the JSON trajectory file",
+    )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
-        "--backend", default=None, choices=("auto", "python", "numpy"),
+        "--backend",
+        default=None,
+        choices=("auto", "python", "numpy"),
         help="pin the partition backend of this run's session (default: the "
-             "environment's selection — numpy when importable)",
+        "environment's selection — numpy when importable)",
     )
     args = parser.parse_args(argv)
 
@@ -206,7 +208,14 @@ def main(argv: list[str] | None = None) -> None:
     session = Session(backend=args.backend)
     with session.activate():
         result = run_bench(_resolve_rows(scale), repeats=args.repeats)
+        stats = session.kernel_stats()
     result["config_fingerprint"] = session.config.fingerprint()
+    # Which grouping path the kernel actually took (counting-sort vs
+    # introsort) — makes a run's label verifiable from the JSON alone.
+    result["sort_paths"] = {
+        "counting": stats.get("counting_sorts", 0),
+        "introsort": stats.get("introsorts", 0),
+    }
 
     output = Path(args.output)
     data: dict = {"schema_version": 1, "runs": {}}

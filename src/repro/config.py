@@ -47,6 +47,11 @@ ENV_BACKEND_MIN_NUMPY_ROWS = "REPRO_BACKEND_MIN_NUMPY_ROWS"
 #: Environment variable toggling batched lattice-level validation (``1``/``0``).
 ENV_BATCH_VALIDATION = "REPRO_BATCH_VALIDATION"
 
+#: Environment variable bounding the counting-sort grouping path of the numpy
+#: backend: key spaces up to this many dense codes are grouped by a 16-bit
+#: counting sort instead of the composite introsort (``0`` disables the path).
+ENV_COUNTING_SORT_MAX_CODES = "REPRO_COUNTING_SORT_MAX_CODES"
+
 #: Default mark-table budget: sixteen ~1M-row tables at 8 bytes per row.
 DEFAULT_MARKS_CACHE_BYTES = 128 * 1024 * 1024
 
@@ -56,6 +61,11 @@ DEFAULT_COMBINED_CACHE_ENTRIES = 16
 #: Default row threshold of the per-relation backend heuristic (0 = always
 #: honour the nominal backend choice; the heuristic is opt-in).
 DEFAULT_BACKEND_MIN_NUMPY_ROWS = 0
+
+#: Default counting-sort bound: the whole 16-bit key space.  The counting
+#: path narrows keys to ``uint16`` before sorting, so values above 65536 are
+#: clamped back to it at resolution time; ``0`` disables the path entirely.
+DEFAULT_COUNTING_SORT_MAX_CODES = 65536
 
 _BACKEND_CHOICES = ("auto", "python", "numpy")
 
@@ -122,6 +132,14 @@ class EngineConfig:
     batch_min_candidates:
         Minimum batch size below which ``validate_level`` uses the scalar
         loop even when batching is enabled (``0`` = always batch).
+    counting_sort_max_codes:
+        Exclusive key-space bound up to which the numpy backend groups by a
+        16-bit counting sort (numpy's radix path over ``uint16`` keys)
+        instead of the composite introsort.  Values above 65536 are clamped
+        to 65536 at resolution time (the counting path narrows keys to
+        ``uint16``); ``0`` disables the path so every grouping takes the
+        introsort.  Both sort paths produce the identical stable order, so
+        the switch point never changes artefacts.
     """
 
     backend: str = "auto"
@@ -131,6 +149,7 @@ class EngineConfig:
     partition_cache_max_positions: int | None = None
     batch_validation: bool = True
     batch_min_candidates: int = 0
+    counting_sort_max_codes: int = DEFAULT_COUNTING_SORT_MAX_CODES
 
     def __post_init__(self) -> None:
         if self.backend not in _BACKEND_CHOICES:
@@ -138,7 +157,12 @@ class EngineConfig:
                 f"unknown partition backend {self.backend!r}: "
                 f"expected one of {_BACKEND_CHOICES}"
             )
-        for name in ("backend_min_numpy_rows", "marks_cache_bytes", "batch_min_candidates"):
+        for name in (
+            "backend_min_numpy_rows",
+            "marks_cache_bytes",
+            "batch_min_candidates",
+            "counting_sort_max_codes",
+        ):
             if getattr(self, name) < 0:
                 raise ConfigError(f"{name} must be non-negative, got {getattr(self, name)}")
         if self.combined_codes_cache_entries < 2:
@@ -183,6 +207,9 @@ class EngineConfig:
                 env, ENV_COMBINED_CACHE_ENTRIES, DEFAULT_COMBINED_CACHE_ENTRIES, minimum=2
             ),
             batch_validation=_env_bool(env, ENV_BATCH_VALIDATION, True),
+            counting_sort_max_codes=_env_int(
+                env, ENV_COUNTING_SORT_MAX_CODES, DEFAULT_COUNTING_SORT_MAX_CODES
+            ),
         )
 
     @classmethod

@@ -106,8 +106,9 @@ class TANE(FDDiscoveryAlgorithm):
         # The RHS iteration sets are snapshotted per candidate before any
         # validation, and a validation verdict only ever updates the C+ set
         # of its *own* candidate — so the whole level can be validated as one
-        # batch (one vectorized pass per shared LHS partition on the numpy
-        # backend) and the verdicts applied afterwards in the original order.
+        # batch (a single backend call per level; the numpy backend stacks
+        # candidates across LHS partitions when the level is dispatch-bound)
+        # and the verdicts applied afterwards in the original order.
         checks: list[LevelCheck] = []
         for candidate in level:
             for attribute in sorted(candidate & cplus[candidate]):

@@ -93,7 +93,7 @@ def approximate_fds(
             # within threshold for this RHS.  Minimality knowledge only ever
             # comes from strictly smaller LHSs, so the surviving RHSs of one
             # LHS can be graded as a single batch — one LHS partition (built
-            # on first use), one vectorized g3 pass over its groups.
+            # on first use), one backend-level g3 call covering every RHS.
             rhs_batch = [
                 rhs
                 for rhs in names
@@ -133,6 +133,6 @@ def upstageable_fds(
     """
     cache = make_partition_cache(reduced)
     for approximate in approximate_fds(base, threshold, max_lhs):
-        if fd_violation_fraction(reduced, approximate.dependency.lhs,
-                                 approximate.dependency.rhs, cache) == 0.0:
+        dependency = approximate.dependency
+        if fd_violation_fraction(reduced, dependency.lhs, dependency.rhs, cache) == 0.0:
             yield approximate

@@ -33,10 +33,10 @@ reusable ``n_rows``-sized scratch tables (row -> group-id mark arrays, held
 in the relation-scoped byte-budgeted
 :class:`~repro.relational.backend.MarkTableCache`); the side with the smaller
 ``||π||`` is probed into the marks of the larger one, as in TANE's linear
-partition product.  :func:`validate_level` batches a whole lattice level's
-RHS checks into one vectorized pass per shared LHS partition.  The
-tuple-of-tuples view remains available through the backward-compatible
-:attr:`StrippedPartition.groups` property.
+partition product.  :func:`validate_level` hands a whole lattice level's
+candidates to the backend in one call (cross-LHS stacked on numpy, early-exit
+scans on python).  The tuple-of-tuples view remains available through the
+backward-compatible :attr:`StrippedPartition.groups` property.
 """
 
 from __future__ import annotations
@@ -435,8 +435,9 @@ def make_partition_cache(
     return PartitionCache(relation, max_positions=max_positions)
 
 
-def fd_holds(relation: Relation, lhs: Iterable[str], rhs: str,
-             cache: PartitionCache | None = None) -> bool:
+def fd_holds(
+    relation: Relation, lhs: Iterable[str], rhs: str, cache: PartitionCache | None = None
+) -> bool:
     """Check whether the FD ``lhs -> rhs`` holds on ``relation``.
 
     Uses partition errors; a :class:`PartitionCache` can be supplied to share
@@ -493,8 +494,9 @@ def fd_violation_fraction_from_partition(
     return removals / n_rows
 
 
-def fd_violation_fraction(relation: Relation, lhs: Iterable[str], rhs: str,
-                          cache: PartitionCache | None = None) -> float:
+def fd_violation_fraction(
+    relation: Relation, lhs: Iterable[str], rhs: str, cache: PartitionCache | None = None
+) -> float:
     """The g3 error of ``lhs -> rhs``: fraction of rows to drop for it to hold."""
     lhs = sorted(set(lhs))
     if not len(relation):
@@ -518,12 +520,13 @@ def validate_level(
     """Exact validity of a batch of ``(lhs_partition, rhs)`` candidates.
 
     ``X -> a`` holds iff the codes of ``a`` are constant within every
-    non-singleton class of ``π(X)``.  Candidates sharing an LHS partition
-    (the common case inside one lattice level, where every RHS of a
-    candidate set is checked against the same LHS) are answered by a single
-    backend pass: the numpy backend stacks their RHS code columns and
-    probes all of them with one boolean-mask comparison, the python backend
-    falls back to the early-exit scan per candidate.  Verdicts come back in
+    non-singleton class of ``π(X)``.  The whole level is handed to the
+    backend as **one call** (``validate_level_groups``): candidates are
+    grouped by identical LHS partition, and the numpy backend additionally
+    stacks candidates of *different* LHS partitions that check the same RHS
+    column into shared gathers, so TANE/FUN/ApproximateTANE pay dispatch
+    overhead per level rather than per candidate or per LHS.  The python
+    backend keeps its early-exit scan per candidate.  Verdicts come back in
     input order and are bit-identical across backends — and identical again
     when batching is disabled through the active engine configuration
     (``EngineConfig.batch_validation`` / ``batch_min_candidates``), which
@@ -548,13 +551,8 @@ def validate_level(
         return results
     state.counters.batched_levels += 1
     state.counters.batched_candidates += len(candidates)
-    for partition, indices in _group_by_partition(candidates):
-        if len(partition.positions) == 0:
-            continue  # a superkey LHS validates every RHS
-        codes_list = [relation.column_codes(candidates[i][1])[0] for i in indices]
-        verdicts = backend.batch_constant_within_groups(
-            partition.positions, partition.offsets, codes_list
-        )
+    level_groups, slots = _level_groups(relation, candidates)
+    for indices, verdicts in zip(slots, backend.validate_level_groups(level_groups)):
         for index, verdict in zip(indices, verdicts):
             results[index] = verdict
     return results
@@ -567,8 +565,8 @@ def validate_level_errors(
     """Batched g3 errors of ``(lhs_partition, rhs)`` candidates (input order).
 
     The batched counterpart of :func:`fd_violation_fraction_from_partition`,
-    used by approximate discovery to grade a whole lattice level in one pass
-    per shared LHS partition.
+    used by approximate discovery to grade a whole lattice level in one
+    backend call (``validate_level_error_groups``).
     """
     if not candidates:
         return []
@@ -588,13 +586,8 @@ def validate_level_errors(
         return errors
     state.counters.batched_levels += 1
     state.counters.batched_candidates += len(candidates)
-    for partition, indices in _group_by_partition(candidates):
-        if len(partition.positions) == 0:
-            continue  # a superkey LHS violates nothing
-        codes_list = [relation.column_codes(candidates[i][1])[0] for i in indices]
-        removals = backend.batch_g3_removals(
-            partition.positions, partition.offsets, codes_list
-        )
+    level_groups, slots = _level_groups(relation, candidates)
+    for indices, removals in zip(slots, backend.validate_level_error_groups(level_groups)):
         for index, removed in zip(indices, removals):
             errors[index] = removed / n_rows
     return errors
@@ -618,3 +611,28 @@ def _group_by_partition(
         else:
             entry[1].append(index)
     return iter(grouped.values())
+
+
+def _level_groups(
+    relation: Relation,
+    candidates: Sequence[tuple[StrippedPartition, str]],
+) -> tuple[list[tuple], list[list[int]]]:
+    """The level's ``(positions, offsets, codes_list)`` triples + index slots.
+
+    One triple per distinct non-superkey LHS partition (superkey LHSs are
+    dropped — they validate every RHS with zero violations, matching the
+    defaults of the callers' result arrays); ``slots[i]`` holds the original
+    candidate indices answered by the backend's ``i``-th verdict list.  RHS
+    code columns come from the relation's per-attribute cache, so candidates
+    sharing an attribute hand the backend the *same* object — the hook the
+    numpy backend keys its cross-LHS column stacking on.
+    """
+    level_groups: list[tuple] = []
+    slots: list[list[int]] = []
+    for partition, indices in _group_by_partition(candidates):
+        if len(partition.positions) == 0:
+            continue
+        codes_list = [relation.column_codes(candidates[i][1])[0] for i in indices]
+        level_groups.append((partition.positions, partition.offsets, codes_list))
+        slots.append(indices)
+    return level_groups, slots
