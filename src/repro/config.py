@@ -52,6 +52,14 @@ ENV_BATCH_VALIDATION = "REPRO_BATCH_VALIDATION"
 #: counting sort instead of the composite introsort (``0`` disables the path).
 ENV_COUNTING_SORT_MAX_CODES = "REPRO_COUNTING_SORT_MAX_CODES"
 
+#: Environment variable setting the shard count of the row-sharded grouping
+#: path (``0`` = auto-size to the host CPU count, ``1`` = never shard).
+ENV_SHARD_COUNT = "REPRO_SHARD_COUNT"
+
+#: Environment variable setting the minimum relation size (rows) at which the
+#: sharded grouping path engages (``0`` = shard every grouping).
+ENV_SHARD_MIN_ROWS = "REPRO_SHARD_MIN_ROWS"
+
 #: Default mark-table budget: sixteen ~1M-row tables at 8 bytes per row.
 DEFAULT_MARKS_CACHE_BYTES = 128 * 1024 * 1024
 
@@ -66,6 +74,12 @@ DEFAULT_BACKEND_MIN_NUMPY_ROWS = 0
 #: path narrows keys to ``uint16`` before sorting, so values above 65536 are
 #: clamped back to it at resolution time; ``0`` disables the path entirely.
 DEFAULT_COUNTING_SORT_MAX_CODES = 65536
+
+#: Default sharding threshold: below this many rows the per-shard dispatch
+#: and merge bookkeeping cannot beat one straight-line grouping pass, so the
+#: kernel stays sequential.  ``benchmarks/bench_calibration.py`` re-measures
+#: the crossover per host.
+DEFAULT_SHARD_MIN_ROWS = 100_000
 
 _BACKEND_CHOICES = ("auto", "python", "numpy")
 
@@ -140,6 +154,20 @@ class EngineConfig:
         ``uint16``); ``0`` disables the path so every grouping takes the
         introsort.  Both sort paths produce the identical stable order, so
         the switch point never changes artefacts.
+    shard_count:
+        Number of row shards of the sharded grouping path of the numpy
+        backend (partition construction splits the code array into row
+        ranges, groups each shard on its own thread — numpy releases the GIL
+        — and merges shard-local groups back into global first-appearance
+        order).  ``0`` auto-sizes to the host CPU count; ``1`` never shards.
+        The merge reassigns positions exactly as the sequential grouping
+        would emit them, so the knob never changes artefacts (and is inert
+        on the python backend).
+    shard_min_rows:
+        Minimum relation size (rows) at which the sharded grouping path
+        engages; smaller groupings stay sequential (the per-shard dispatch
+        and merge bookkeeping cannot beat one straight-line pass on small
+        inputs).  ``0`` shards every grouping.
     """
 
     backend: str = "auto"
@@ -150,6 +178,8 @@ class EngineConfig:
     batch_validation: bool = True
     batch_min_candidates: int = 0
     counting_sort_max_codes: int = DEFAULT_COUNTING_SORT_MAX_CODES
+    shard_count: int = 0
+    shard_min_rows: int = DEFAULT_SHARD_MIN_ROWS
 
     def __post_init__(self) -> None:
         if self.backend not in _BACKEND_CHOICES:
@@ -162,6 +192,8 @@ class EngineConfig:
             "marks_cache_bytes",
             "batch_min_candidates",
             "counting_sort_max_codes",
+            "shard_count",
+            "shard_min_rows",
         ):
             if getattr(self, name) < 0:
                 raise ConfigError(f"{name} must be non-negative, got {getattr(self, name)}")
@@ -210,6 +242,8 @@ class EngineConfig:
             counting_sort_max_codes=_env_int(
                 env, ENV_COUNTING_SORT_MAX_CODES, DEFAULT_COUNTING_SORT_MAX_CODES
             ),
+            shard_count=_env_int(env, ENV_SHARD_COUNT, 0),
+            shard_min_rows=_env_int(env, ENV_SHARD_MIN_ROWS, DEFAULT_SHARD_MIN_ROWS),
         )
 
     @classmethod

@@ -17,8 +17,6 @@ and cover checks stay cheap in pure Python.
 
 from __future__ import annotations
 
-from itertools import combinations
-
 from ..fd.fd import FD
 from ..relational.partition import StrippedPartition
 from ..relational.relation import Relation
@@ -79,16 +77,27 @@ class FastFDs(FDDiscoveryAlgorithm):
         partition class containing both.  Pairs that agree on nothing never
         appear in any partition class; their difference set is the full
         attribute set and is added once if such a pair exists.
+
+        Pair enumeration walks each partition's flat positions/offsets
+        arrays directly (positions ascend within a group, so ``first <
+        second`` holds without sorting) instead of materialising per-group
+        python lists.
         """
         n_rows = len(relation)
         agree: dict[int, int] = {}
         for name in names:
             bit = bit_of[name]
             partition = StrippedPartition.from_column(relation, name)
-            for group in partition.iter_groups():
-                for first, second in combinations(group, 2):
-                    key = first * n_rows + second
-                    agree[key] = agree.get(key, 0) | bit
+            positions, offsets = partition.flat_lists()
+            start = offsets[0]
+            for group_id in range(1, len(offsets)):
+                end = offsets[group_id]
+                for left in range(start, end - 1):
+                    key_base = positions[left] * n_rows
+                    for right in range(left + 1, end):
+                        key = key_base + positions[right]
+                        agree[key] = agree.get(key, 0) | bit
+                start = end
         stats.sampled_pairs = len(agree)
         difference_sets = {full_mask ^ mask for mask in agree.values() if mask != full_mask}
         total_pairs = n_rows * (n_rows - 1) // 2

@@ -110,10 +110,15 @@ class HyFD(FDDiscoveryAlgorithm):
         full = frozenset(names)
         for name in names:
             # Neighbouring rows inside each equivalence class of `name` are the
-            # pairs most likely to agree on many attributes.
-            for positions in cache.get([name]).iter_groups():
-                for offset in range(1, min(self.window, len(positions))):
-                    for i in range(len(positions) - offset):
+            # pairs most likely to agree on many attributes.  The classes are
+            # windowed straight off the partition's flat positions/offsets
+            # arrays — no per-group python lists are materialised.
+            positions, offsets = cache.get([name]).flat_lists()
+            start = offsets[0]
+            for group_id in range(1, len(offsets)):
+                end = offsets[group_id]
+                for offset in range(1, min(self.window, end - start)):
+                    for i in range(start, end - offset):
                         first, second = positions[i], positions[i + offset]
                         stats.sampled_pairs += 1
                         agreeing = frozenset(
@@ -122,6 +127,7 @@ class HyFD(FDDiscoveryAlgorithm):
                         )
                         if agreeing != full:
                             agree_sets.add(agreeing)
+                start = end
         return agree_sets
 
     @staticmethod

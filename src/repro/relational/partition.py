@@ -135,9 +135,15 @@ class StrippedPartition:
     # -- construction ---------------------------------------------------------
     @classmethod
     def from_column(cls, relation: Relation, attribute: str) -> "StrippedPartition":
-        """Build the stripped partition of a single attribute."""
+        """Build the stripped partition of a single attribute.
+
+        Grouping goes through the backend's ``shard_group`` entry point:
+        large inputs may be grouped shard-parallel under the active engine
+        configuration (``shard_count``/``shard_min_rows``), with bytes
+        identical to the sequential path either way.
+        """
         codes, n_codes, counts = relation._encode_column(attribute)
-        positions, offsets = get_backend(len(relation)).group_by_codes(codes, n_codes, counts)
+        positions, offsets = get_backend(len(relation)).shard_group(codes, n_codes, counts)
         return cls._from_flat(positions, offsets, len(relation), relation.mark_cache)
 
     @classmethod
@@ -152,7 +158,7 @@ class StrippedPartition:
             return cls.from_column(relation, attributes[0])
         backend = get_backend(len(relation))
         codes, n_codes = backend.encode_columns(relation, attributes)
-        positions, offsets = backend.group_by_codes(codes, n_codes)
+        positions, offsets = backend.shard_group(codes, n_codes)
         return cls._from_flat(positions, offsets, len(relation), relation.mark_cache)
 
     # -- views ----------------------------------------------------------------
@@ -161,7 +167,7 @@ class StrippedPartition:
         """The non-singleton classes as tuples (materialised lazily)."""
         cached = self._groups_cache
         if cached is None:
-            positions, offsets = self._flat_lists()
+            positions, offsets = self.flat_lists()
             cached = tuple(
                 tuple(positions[offsets[i] : offsets[i + 1]])
                 for i in range(len(offsets) - 1)
@@ -169,8 +175,15 @@ class StrippedPartition:
             self._groups_cache = cached
         return cached
 
-    def _flat_lists(self) -> tuple[list[int], list[int]]:
-        """The flat arrays as plain python lists (copy-free on the python path)."""
+    def flat_lists(self) -> tuple[list[int], list[int]]:
+        """The flat ``(positions, offsets)`` arrays as plain python lists.
+
+        Copy-free on the python backend; a single bulk ``tolist()`` on
+        numpy.  This is the accessor pure-python consumers (FastFDs' pair
+        enumeration, HyFD's focused sampling) iterate instead of
+        materialising per-group lists: group ``i`` spans
+        ``positions[offsets[i]:offsets[i + 1]]``.
+        """
         positions, offsets = self.positions, self.offsets
         if not isinstance(positions, list):
             positions = positions.tolist()
@@ -180,7 +193,7 @@ class StrippedPartition:
 
     def iter_groups(self) -> Iterator[list[int]]:
         """Iterate over the classes as fresh lists, without caching tuples."""
-        positions, offsets = self._flat_lists()
+        positions, offsets = self.flat_lists()
         start = offsets[0]
         for i in range(1, len(offsets)):
             end = offsets[i]

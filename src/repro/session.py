@@ -490,10 +490,18 @@ class Session:
 
     # -- diagnostics ----------------------------------------------------------
     def kernel_stats(self) -> dict[str, object]:
-        """The session's backend name plus its kernel cache counters."""
+        """The session's backend name plus its kernel cache counters.
+
+        ``shard_timings`` carries the per-shard sort seconds of the most
+        recent sharded grouping (empty when the sharded path never ran).
+        """
         return {
             "backend": self._state.backend_for().name,
             **self._state.counters.snapshot(),
+            "shard_timings": [
+                round(seconds, 6)
+                for seconds in self._state.counters.last_shard_timings
+            ],
         }
 
     def render_kernel_stats(self) -> str:

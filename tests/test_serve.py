@@ -41,6 +41,8 @@ from repro.serve import (
 )
 from repro.session import Session
 
+pytestmark = pytest.mark.slow
+
 _SRC = Path(__file__).resolve().parent.parent / "src"
 
 #: Generous bound for waits that should complete almost instantly; tests

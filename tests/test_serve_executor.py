@@ -39,6 +39,8 @@ from repro.serve import (
 )
 from repro.session import Session
 
+pytestmark = pytest.mark.slow
+
 #: Generous bound for waits that should complete almost instantly.
 WAIT = 30.0
 

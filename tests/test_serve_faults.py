@@ -63,6 +63,8 @@ from repro.serve import (
 from repro.serve.faults import SITE_THREAD_RUN
 from repro.session import Session
 
+pytestmark = pytest.mark.slow
+
 _SRC = Path(__file__).resolve().parent.parent / "src"
 
 #: Generous bound for waits that should complete almost instantly.

@@ -31,6 +31,8 @@ from repro.serve import (
     relation_to_payload,
 )
 
+pytestmark = pytest.mark.slow
+
 WAIT = 30.0
 
 

@@ -39,9 +39,10 @@ from repro.serve import (
 from repro.shm import plane_available
 from tests.test_serve_executor import WAIT, make_relation
 
-pytestmark = pytest.mark.skipif(
-    not plane_available(), reason="host lacks shared memory or numpy"
-)
+pytestmark = [
+    pytest.mark.slow,
+    pytest.mark.skipif(not plane_available(), reason="host lacks shared memory or numpy"),
+]
 
 
 def leaked_segments() -> list[str]:

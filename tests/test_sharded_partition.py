@@ -1,0 +1,142 @@
+"""Sharded grouping path: byte-identity, gating, counters, knob plumbing.
+
+``NumpyBackend.shard_group`` splits the combined code array into contiguous
+row ranges, groups each shard in a thread pool, and merges the shard-local
+groups.  Because the codes are globally dense first-appearance encodings and
+the merge lays shard s's rows of every code before shard s+1's, the result
+is byte-identical to the sequential ``group_by_codes`` by construction.
+These tests pin that identity with hypothesis across shard counts and
+adversarial value shapes, assert the ``shard_min_rows`` gate (small inputs
+must *not* take the sharded path), and exercise the knobs' env/kwarg
+plumbing on both backends.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import (
+    DEFAULT_SHARD_MIN_ROWS,
+    ENV_SHARD_COUNT,
+    ENV_SHARD_MIN_ROWS,
+    EngineConfig,
+)
+from repro.relational.backend import numpy_available
+from repro.relational.partition import StrippedPartition
+from repro.relational.relation import Relation
+from repro.session import Session
+
+requires_numpy = pytest.mark.skipif(not numpy_available(), reason="numpy fast path not importable")
+
+ATTRS = ("a", "b", "c")
+
+
+def flat(partition):
+    positions, offsets = partition.positions, partition.offsets
+    if not isinstance(positions, list):
+        positions = positions.tolist()
+    if not isinstance(offsets, list):
+        offsets = offsets.tolist()
+    return positions, offsets
+
+
+def _shaped_column(draw, n, shape):
+    if shape == "constant":
+        return [0] * n
+    if shape == "distinct":
+        return list(range(n))
+    if shape == "skewed":
+        return [0 if draw(st.integers(0, 9)) else draw(st.integers(1, 3)) for _ in range(n)]
+    if shape == "blocks":
+        # Long equal runs: shard boundaries cut groups, forcing the merge to
+        # stitch cross-shard group halves back in global position order.
+        out = []
+        value = 0
+        while len(out) < n:
+            out.extend([value] * min(n - len(out), draw(st.integers(1, max(1, n // 2)))))
+            value += 1
+        return out
+    return [draw(st.integers(0, max(1, n))) for _ in range(n)]
+
+
+@st.composite
+def shaped_rows(draw):
+    n = draw(st.integers(0, 60))
+    shapes = st.sampled_from(("constant", "distinct", "skewed", "blocks", "random"))
+    columns = [_shaped_column(draw, n, draw(shapes)) for _ in ATTRS]
+    return [tuple(column[i] for column in columns) for i in range(n)]
+
+
+def _partitions(rows, **session_kwargs):
+    with Session(**session_kwargs):
+        relation = Relation("r", ATTRS, rows)
+        singles = [flat(StrippedPartition.from_column(relation, a)) for a in ATTRS]
+        combined = flat(StrippedPartition.from_columns(relation, ATTRS))
+    return singles, combined
+
+
+@requires_numpy
+@settings(max_examples=60, deadline=None)
+@given(rows=shaped_rows())
+def test_sharded_and_unsharded_are_byte_identical(rows):
+    # shard_min_rows=0 forces the sharded path even on tiny inputs, so the
+    # property also covers empty shards and single-row shards.
+    baseline = _partitions(rows, backend="numpy", shard_count=1)
+    for shard_count in (2, 3, 7, 16):
+        sharded = _partitions(rows, backend="numpy", shard_count=shard_count, shard_min_rows=0)
+        assert sharded == baseline
+
+
+@requires_numpy
+def test_min_rows_gate_keeps_small_inputs_sequential():
+    rows = [(i % 5, i % 3, i % 7) for i in range(50)]
+    with Session(backend="numpy", shard_count=4, shard_min_rows=1000) as session:
+        relation = Relation("r", ATTRS, rows)
+        StrippedPartition.from_columns(relation, ATTRS)
+        assert session.kernel_stats()["sharded_groupings"] == 0
+        assert session.kernel_stats()["shard_timings"] == []
+
+
+@requires_numpy
+def test_forced_sharding_is_counted_and_timed():
+    rows = [(i % 5, i % 3, i % 7) for i in range(50)]
+    with Session(backend="numpy", shard_count=4, shard_min_rows=0) as session:
+        relation = Relation("r", ATTRS, rows)
+        StrippedPartition.from_columns(relation, ATTRS)
+        stats = session.kernel_stats()
+        assert stats["sharded_groupings"] > 0
+        assert len(stats["shard_timings"]) == 4
+        assert all(seconds >= 0 for seconds in stats["shard_timings"])
+
+
+@requires_numpy
+def test_shard_count_one_disables_sharding():
+    rows = [(i % 5, i % 3, i % 7) for i in range(50)]
+    with Session(backend="numpy", shard_count=1, shard_min_rows=0) as session:
+        relation = Relation("r", ATTRS, rows)
+        StrippedPartition.from_columns(relation, ATTRS)
+        assert session.kernel_stats()["sharded_groupings"] == 0
+
+
+def test_knobs_are_inert_on_the_python_backend():
+    rows = [(i % 4, i % 2, i) for i in range(40)]
+    results = []
+    for kwargs in ({}, {"shard_count": 7, "shard_min_rows": 0}):
+        results.append(_partitions(rows, backend="python", **kwargs))
+    assert results[0] == results[1]
+
+
+def test_env_and_kwarg_plumbing():
+    defaults = EngineConfig.from_env({})
+    assert defaults.shard_count == 0
+    assert defaults.shard_min_rows == DEFAULT_SHARD_MIN_ROWS
+    config = EngineConfig.from_env({ENV_SHARD_COUNT: "4", ENV_SHARD_MIN_ROWS: "500"})
+    assert config.shard_count == 4
+    assert config.shard_min_rows == 500
+    with pytest.raises(ValueError):
+        EngineConfig(shard_count=-1)
+    with pytest.raises(ValueError):
+        EngineConfig(shard_min_rows=-1)
+    with Session(shard_count=3, shard_min_rows=10) as session:
+        assert session.config.shard_count == 3
+        assert session.config.shard_min_rows == 10

@@ -32,9 +32,10 @@ from repro.shm import (
     write_segment,
 )
 
-pytestmark = pytest.mark.skipif(
-    not plane_available(), reason="host lacks shared memory or numpy"
-)
+pytestmark = [
+    pytest.mark.slow,
+    pytest.mark.skipif(not plane_available(), reason="host lacks shared memory or numpy"),
+]
 
 
 def make_relation(name: str = "t", n_rows: int = 60, salt: int = 0) -> Relation:

@@ -1,0 +1,205 @@
+"""Differential conformance fuzzer: one workload, every engine leg, same bytes.
+
+The repo's central invariant is that *no engine knob changes artefacts*: the
+python and numpy partition backends are bit-compatible, and the sharded
+grouping path (``shard_count``/``shard_min_rows``) merges shard-local groups
+back into exactly the sequential emission order.  This tool makes that a
+*fuzzed* invariant instead of a per-PR claim: a seed-replayable generator
+produces adversarial relations (skew, constants, all-distinct runs, nulls,
+long equal blocks straddling shard boundaries, empty and single-row
+instances) and every registered discovery algorithm is executed on every
+engine leg of the conformance grid
+
+    {python} ∪ {numpy} × {unsharded} ∪ {shard counts 2, 7, cpu}
+
+asserting, per seed:
+
+* the canonical FD set of every algorithm is identical across legs;
+* the full ``RunResult`` artefacts block is **byte**-identical (serialised
+  with sorted keys) and the configuration-invariant
+  ``artifact_fingerprint()`` agrees;
+* the stripped partitions themselves (flat positions/offsets of every
+  single attribute and of the full attribute combination) are identical.
+
+Usage::
+
+    PYTHONPATH=src python tools/fuzz_differential.py --seeds 25
+    PYTHONPATH=src python tools/fuzz_differential.py --seed 17   # replay one
+
+Every failure message names the seed, so a CI hit replays locally with
+``--seed``.  Exit status is non-zero on any divergence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.discovery.registry import available_algorithms  # noqa: E402
+from repro.relational.backend import numpy_available  # noqa: E402
+from repro.relational.partition import StrippedPartition  # noqa: E402
+from repro.relational.relation import Relation  # noqa: E402
+from repro.session import Session  # noqa: E402
+
+#: Row counts the generator draws from — deliberately including the empty
+#: relation, the single row, and sizes below any plausible shard count (so
+#: forced sharding produces empty and single-row shards).
+ROW_COUNT_CHOICES = (0, 1, 2, 3, 5, 8, 13, 30, 60, 120)
+
+#: Column shapes; each is an adversarial regime of the grouping kernel.
+SHAPES = ("constant", "distinct", "skewed", "nulls", "blocks", "random")
+
+
+def _column(rng: random.Random, n: int, shape: str) -> list:
+    if shape == "constant":
+        return ["k"] * n
+    if shape == "distinct":
+        return [f"v{i}" for i in range(n)]
+    if shape == "skewed":
+        # One dominant value: most pairs agree, a few cold stragglers.
+        return ["hot" if rng.random() < 0.85 else f"cold{rng.randrange(3)}" for _ in range(n)]
+    if shape == "nulls":
+        return [None if rng.random() < 0.4 else f"v{rng.randrange(3)}" for _ in range(n)]
+    if shape == "blocks":
+        # Long equal runs, so shard boundaries cut groups in half — the
+        # merge must stitch cross-shard halves back in position order.
+        out: list = []
+        value = 0
+        while len(out) < n:
+            run = min(n - len(out), rng.randrange(1, max(2, n // 2 + 1)))
+            out.extend([f"b{value}"] * run)
+            value += 1
+        return out
+    return [rng.randrange(max(1, n)) for _ in range(n)]
+
+
+def generate_case(seed: int) -> tuple[tuple[str, ...], list[tuple], list[str]]:
+    """The ``(attribute names, rows, column shapes)`` of one fuzz case.
+
+    Pure function of ``seed`` — the replayability contract of the suite.
+    """
+    rng = random.Random(seed)
+    n_rows = rng.choice(ROW_COUNT_CHOICES)
+    n_columns = rng.randrange(2, 5)
+    shapes = [rng.choice(SHAPES) for _ in range(n_columns)]
+    columns = [_column(rng, n_rows, shape) for shape in shapes]
+    names = tuple(chr(ord("a") + i) for i in range(n_columns))
+    rows = [tuple(column[i] for column in columns) for i in range(n_rows)]
+    return names, rows, shapes
+
+
+def conformance_legs() -> list[tuple[str, dict]]:
+    """The engine legs of the grid, as ``(label, Session overrides)`` pairs.
+
+    The python leg carries forced shard knobs on purpose: they must be
+    inert there.  Without numpy only that leg exists (nothing to differ
+    from, but the tool still exercises the generator and the python run).
+    """
+    legs = [("python", {"backend": "python", "shard_count": 7, "shard_min_rows": 0})]
+    if numpy_available():
+        cpu = os.cpu_count() or 1
+        legs.append(("numpy-unsharded", {"backend": "numpy", "shard_count": 1}))
+        for count in dict.fromkeys((2, 7, cpu)):
+            legs.append(
+                (
+                    f"numpy-sharded-{count}",
+                    {"backend": "numpy", "shard_count": count, "shard_min_rows": 0},
+                )
+            )
+    return legs
+
+
+def _observe_leg(
+    names: tuple[str, ...], rows: list[tuple], overrides: dict, algorithms: list[str]
+) -> dict:
+    """Everything one leg produces, in a directly comparable form."""
+    with Session(**overrides) as session:
+        relation = Relation("fuzz", names, rows)
+        partitions = {}
+        for attribute in names:
+            partitions[attribute] = StrippedPartition.from_column(relation, attribute).flat_lists()
+        partitions["*combined*"] = StrippedPartition.from_columns(relation, names).flat_lists()
+        runs = {}
+        for algorithm in algorithms:
+            result = session.discover(relation, algorithm=algorithm)
+            runs[algorithm] = {
+                "fds": sorted((sorted(fd.lhs), fd.rhs) for fd in result.fds),
+                "artifact_bytes": json.dumps(result.artifacts, sort_keys=True),
+                "artifact_fingerprint": result.artifact_fingerprint(),
+            }
+    return {"partitions": partitions, "runs": runs}
+
+
+def check_case(label: str, names: tuple[str, ...], rows: list[tuple]) -> list[str]:
+    """Run one case over the whole grid; returns human-readable mismatches."""
+    algorithms = available_algorithms()
+    mismatches: list[str] = []
+    reference_leg: str | None = None
+    reference: dict | None = None
+    for leg, overrides in conformance_legs():
+        observed = _observe_leg(names, rows, overrides, algorithms)
+        if reference is None:
+            reference_leg, reference = leg, observed
+            continue
+        if observed == reference:
+            continue
+        for attribute, flat in observed["partitions"].items():
+            if flat != reference["partitions"][attribute]:
+                mismatches.append(
+                    f"{label}: partition({attribute!r}) differs on leg {leg} vs {reference_leg}"
+                )
+        for algorithm, run in observed["runs"].items():
+            for key, value in run.items():
+                if value != reference["runs"][algorithm][key]:
+                    mismatches.append(
+                        f"{label}: {algorithm} {key} differs on leg {leg} vs {reference_leg}"
+                    )
+    return mismatches
+
+
+def check_seed(seed: int) -> list[str]:
+    """Generate and check one seed; returns mismatch descriptions (empty = ok)."""
+    names, rows, shapes = generate_case(seed)
+    label = f"seed {seed} (rows={len(rows)}, shapes={shapes})"
+    return check_case(label, names, rows)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, default=10, help="number of seeds to sweep (0..N-1)")
+    parser.add_argument("--seed", type=int, default=None, help="replay exactly one seed")
+    args = parser.parse_args(argv)
+
+    seeds = [args.seed] if args.seed is not None else list(range(args.seeds))
+    legs = [leg for leg, _ in conformance_legs()]
+    print(
+        f"[fuzz_differential] seeds={seeds[0]}..{seeds[-1]} legs={legs} "
+        f"algorithms={available_algorithms()}"
+    )
+    failures = 0
+    for seed in seeds:
+        mismatches = check_seed(seed)
+        if mismatches:
+            failures += 1
+            for line in mismatches:
+                print(f"  MISMATCH {line}")
+            print(f"  replay: PYTHONPATH=src python tools/fuzz_differential.py --seed {seed}")
+        else:
+            print(f"  seed {seed}: conforms")
+    if failures:
+        print(f"[fuzz_differential] FAILED: {failures}/{len(seeds)} seeds diverged")
+        return 1
+    print(f"[fuzz_differential] all {len(seeds)} seeds conform")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
